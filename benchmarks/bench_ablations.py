@@ -1,0 +1,83 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md §5.
+
+* cost model: the Section 5.3 model's predicted per-query cost should rank
+  node capacities in roughly the same order as the measured cost;
+* pruning rule and pivot strategy: two-sided pruning and FFT pivots never do
+  worse than the one-sided / random / center variants on distance
+  computations;
+* two-stage memory strategy: under tight device memory GTS still answers the
+  batch (more slowly), while GPU-Tree — which lacks the strategy — deadlocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evalsuite import ablation_cost_model, ablation_prune_and_pivot, ablation_two_stage
+
+from .conftest import BENCH_SCALE, attach, ok_rows, run_once
+
+
+def test_ablation_cost_model(benchmark):
+    result = run_once(
+        benchmark,
+        ablation_cost_model,
+        dataset_name="tloc",
+        node_capacities=(10, 20, 40, 80, 160, 320),
+        num_queries=48,
+        scale=BENCH_SCALE,
+    )
+    attach(benchmark, result)
+    rows = ok_rows(result)
+    assert len(rows) == 6
+    predicted = np.array([row["predicted_cost_s"] for row in rows])
+    measured = np.array([row["measured_cost_s"] for row in rows])
+    assert np.all(predicted > 0) and np.all(measured > 0)
+    # the model's best capacity is within the top half of the measured ranking
+    best_predicted = int(np.argmin(predicted))
+    measured_rank = int(np.argsort(np.argsort(measured))[best_predicted])
+    assert measured_rank <= 3, "cost-model argmin should not be among the worst capacities"
+
+
+def test_ablation_prune_and_pivot(benchmark):
+    result = run_once(
+        benchmark,
+        ablation_prune_and_pivot,
+        dataset_name="tloc",
+        num_queries=48,
+        scale=BENCH_SCALE,
+    )
+    attach(benchmark, result)
+    rows = ok_rows(result)
+    assert len(rows) == 4
+    by_variant = {(row["prune"], row["pivot"]): row for row in rows}
+    default = by_variant[("two-sided", "fft")]
+    one_sided = by_variant[("one-sided", "fft")]
+    # two-sided pruning removes at least as many candidates as one-sided
+    assert default["mrq_distances"] <= one_sided["mrq_distances"]
+    # FFT pivots are no worse than the intentionally poor "center" choice
+    center = by_variant[("two-sided", "center")]
+    assert default["mrq_distances"] <= center["mrq_distances"] * 1.1
+
+
+def test_ablation_two_stage(benchmark):
+    result = run_once(
+        benchmark,
+        ablation_two_stage,
+        dataset_name="tloc",
+        num_queries=256,
+        memory_mb=(0.75, 1.5, 64.0),
+        scale=BENCH_SCALE,
+    )
+    attach(benchmark, result)
+    gts_rows = {row["memory_mb"]: row for row in result.filter(method="GTS")}
+    # GTS answers the batch at every memory size (grouping kicks in when tight)
+    assert all(row["status"] == "ok" for row in gts_rows.values())
+    # ample memory is at least as fast as the most constrained configuration
+    assert gts_rows[64.0]["throughput"] >= gts_rows[0.75]["throughput"] * 0.9
+    # GPU-Tree (no two-stage strategy) fails on at least one constrained setting
+    tree_rows = result.filter(method="GPU-Tree")
+    assert any(row["status"] != "ok" for row in tree_rows)
+    # and peak memory stays within the device budget for GTS
+    for mem, row in gts_rows.items():
+        assert row["peak_memory_mb"] <= mem + 1e-6

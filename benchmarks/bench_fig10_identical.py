@@ -1,0 +1,36 @@
+"""Fig. 10 — effect of identical (duplicate) objects on GTS throughput.
+
+Reproduced shape (paper): GTS throughput is essentially flat across distinct
+data proportions from 20% to 100% — duplicate keys may straddle node
+boundaries but neither correctness nor performance degrades.
+"""
+
+from __future__ import annotations
+
+from repro.evalsuite import experiment_fig10_identical_objects
+
+from .conftest import BENCH_QUERIES, BENCH_SCALE, attach, ok_rows, run_once
+
+PROPORTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def test_fig10_identical_objects(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_fig10_identical_objects,
+        datasets=("tloc", "color"),
+        distinct_proportions=PROPORTIONS,
+        num_queries=BENCH_QUERIES,
+        scale=BENCH_SCALE,
+    )
+    attach(benchmark, result)
+
+    for dataset in ("tloc", "color"):
+        rows = ok_rows(result, dataset=dataset)
+        assert len(rows) == len(PROPORTIONS), f"every proportion must complete on {dataset}"
+        mrq = [row["mrq_throughput"] for row in rows]
+        knn = [row["mknn_throughput"] for row in rows]
+        assert all(v > 0 for v in mrq + knn)
+        # flat within an order of magnitude: duplicates do not break the index
+        assert max(mrq) <= 10 * min(mrq)
+        assert max(knn) <= 10 * min(knn)

@@ -1,0 +1,62 @@
+"""Fig. 11 — MkNNQ throughput and memory consumption vs dataset cardinality.
+
+Reproduced shape (paper): throughput of every method decreases as the dataset
+grows; several competitors (GPU-Tree, GANNS, and EGNAT through its
+pre-computed tables) run out of the scaled-down memory at the larger
+cardinalities while GTS completes every point and remains the best
+general-purpose method; GTS memory use grows roughly linearly with the data.
+"""
+
+from __future__ import annotations
+
+from repro.evalsuite import experiment_fig11_cardinality
+
+from .conftest import BENCH_SCALE, attach, ok_rows, run_once
+
+METHODS = ("BST", "EGNAT", "MVPT", "GPU-Table", "GPU-Tree", "GANNS", "GTS")
+FRACTIONS = (0.2, 0.6, 1.0)
+
+#: Simulated device memory for the memory-pressure experiment.  The datasets
+#: are scaled down by ``BENCH_SCALE``, so the device must shrink with them for
+#: the paper's out-of-memory behaviour (GANNS/GPU-Tree on Color) to reappear;
+#: 40 MB at scale 1.0 sits between GTS's footprint and the graph/multi-tree
+#: methods' footprints at the full Color cardinality.
+DEVICE_MEMORY_MB = 40.0 * BENCH_SCALE
+
+
+def test_fig11_cardinality(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_fig11_cardinality,
+        datasets=("tloc", "color"),
+        methods=METHODS,
+        fractions=FRACTIONS,
+        num_queries=32,
+        device_memory_mb=DEVICE_MEMORY_MB,
+        scale=BENCH_SCALE,
+    )
+    attach(benchmark, result)
+
+    for dataset in ("tloc", "color"):
+        gts = {row["fraction"]: row for row in ok_rows(result, dataset=dataset, method="GTS")}
+        assert set(gts) == set(FRACTIONS), f"GTS must complete every cardinality on {dataset}"
+        # throughput decreases (or stays roughly flat) as the dataset grows
+        assert gts[1.0]["throughput"] <= gts[0.2]["throughput"] * 2.0
+        # memory grows (or stays roughly flat) with the cardinality
+        assert gts[1.0]["memory_mb"] >= gts[0.2]["memory_mb"] * 0.9
+
+        # GTS beats the sequential CPU trees at full cardinality
+        for cpu in ("BST", "MVPT"):
+            rows = ok_rows(result, dataset=dataset, method=cpu, fraction=1.0)
+            for row in rows:
+                assert gts[1.0]["throughput"] > row["throughput"]
+
+    # at least one competitor hits a memory limit at the full cardinality of
+    # some dataset (the paper reports this for EGNAT/GPU-Tree/GANNS on T-Loc
+    # and Color) while GTS completes every point
+    failures = [
+        row
+        for row in result.rows
+        if row["fraction"] == 1.0 and row["status"] != "ok" and row["method"] != "GTS"
+    ]
+    assert failures, "the scaled-down device should expose at least one competitor OOM"

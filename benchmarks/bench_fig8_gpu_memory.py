@@ -1,0 +1,41 @@
+"""Fig. 8 — effect of the available GPU memory on GTS throughput.
+
+Reproduced shape (paper): throughput grows as more device memory becomes
+available (fewer sequential query groups in the two-stage strategy) and then
+plateaus once the whole batch fits — extra memory stops helping.
+"""
+
+from __future__ import annotations
+
+from repro.evalsuite import experiment_fig8_gpu_memory
+
+from .conftest import BENCH_SCALE, attach, ok_rows, run_once
+
+MEMORY_MB = (1, 2, 4, 8, 16, 64)
+
+
+def test_fig8_gpu_memory(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_fig8_gpu_memory,
+        datasets=("tloc", "color"),
+        memory_mb=MEMORY_MB,
+        num_queries=128,
+        scale=BENCH_SCALE,
+    )
+    attach(benchmark, result)
+
+    for dataset in ("tloc", "color"):
+        rows = ok_rows(result, dataset=dataset)
+        assert rows, f"GTS must complete on {dataset} for at least the larger memories"
+        series = sorted(
+            ((row["memory_mb"], row["mrq_throughput"]) for row in rows), key=lambda p: p[0]
+        )
+        throughputs = [t for _, t in series]
+        assert all(t > 0 for t in throughputs)
+        # more memory never hurts badly: the largest memory is at least as good
+        # as the smallest one that completed
+        assert throughputs[-1] >= throughputs[0] * 0.9
+        # and the curve saturates: doubling memory at the top changes little
+        if len(throughputs) >= 2:
+            assert throughputs[-1] <= throughputs[-2] * 3 + 1e-9

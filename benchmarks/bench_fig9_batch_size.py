@@ -1,0 +1,54 @@
+"""Fig. 9 — MRQ throughput vs the number of queries in a batch.
+
+Reproduced shape (paper): GPU methods gain throughput as the batch grows
+(more parallel work per launch) while CPU methods stay flat; GPU-Tree hits a
+memory deadlock at the largest batch because of its fixed per-(query, tree)
+result buffers; GTS keeps improving and answers every batch size thanks to
+the two-stage strategy.
+"""
+
+from __future__ import annotations
+
+from repro.evalsuite import experiment_fig9_batch_size
+
+from .conftest import BENCH_SCALE, attach, ok_rows, run_once
+
+METHODS = ("BST", "MVPT", "GPU-Table", "GPU-Tree", "GTS")
+BATCH_SIZES = (16, 64, 256, 512)
+
+
+def test_fig9_batch_size(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_fig9_batch_size,
+        datasets=("tloc", "color"),
+        methods=METHODS,
+        batch_sizes=BATCH_SIZES,
+        device_memory_mb=40.0,
+        scale=BENCH_SCALE,
+    )
+    attach(benchmark, result)
+
+    for dataset in ("tloc", "color"):
+        # GTS completes every batch size and scales with the batch
+        gts = {row["batch_size"]: row["throughput"] for row in ok_rows(result, dataset=dataset, method="GTS")}
+        assert set(gts) == set(BATCH_SIZES)
+        assert gts[512] > gts[16], "larger batches should raise GTS throughput"
+
+        # CPU methods do not benefit from batching (flat within a small factor)
+        cpu = {row["batch_size"]: row["throughput"] for row in ok_rows(result, dataset=dataset, method="MVPT")}
+        if len(cpu) == len(BATCH_SIZES):
+            assert max(cpu.values()) <= min(cpu.values()) * 3
+
+        # GTS beats the CPU baselines at the largest batch
+        for method in ("BST", "MVPT"):
+            rows = ok_rows(result, dataset=dataset, method=method, batch_size=512)
+            for row in rows:
+                assert gts[512] > row["throughput"]
+
+    # GPU-Tree deadlocks on the largest batch of the high-dimensional dataset
+    tree_rows = result.filter(dataset="color", method="GPU-Tree", batch_size=512)
+    assert tree_rows and tree_rows[0]["status"] == "oom"
+    # ... while GTS answers the very same workload
+    gts_rows = ok_rows(result, dataset="color", method="GTS", batch_size=512)
+    assert gts_rows

@@ -1,0 +1,67 @@
+"""Table 4 — index construction cost (time and storage) of every method.
+
+Reproduced shape (paper): GTS builds faster than every general-purpose
+competitor on every dataset (1.5-10x), EGNAT is the slowest / most
+storage-hungry CPU method and runs out of memory on T-Loc, the
+special-purpose LBPG-Tree builds quickly but only on Lp vector data, and
+GANNS produces a much larger index than GTS.
+"""
+
+from __future__ import annotations
+
+from repro.evalsuite import experiment_table4_construction
+
+from .conftest import BENCH_SCALE, attach, ok_rows, run_once
+
+METHODS = ("BST", "EGNAT", "MVPT", "GPU-Tree", "LBPG-Tree", "GANNS", "GTS")
+
+
+def test_table4_construction(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_table4_construction,
+        datasets=("words", "tloc", "vector", "dna", "color"),
+        methods=METHODS,
+        scale=BENCH_SCALE,
+    )
+    attach(benchmark, result)
+
+    for dataset in ("words", "tloc", "vector", "dna", "color"):
+        gts = ok_rows(result, dataset=dataset, method="GTS")
+        assert gts, f"GTS must build successfully on {dataset}"
+        gts_time = gts[0]["time_s"]
+        # GTS construction beats every general-purpose competitor that completed
+        for method in ("BST", "EGNAT", "MVPT", "GPU-Tree"):
+            for row in ok_rows(result, dataset=dataset, method=method):
+                assert gts_time <= row["time_s"] * 1.5, (
+                    f"{method} built faster than GTS on {dataset}: "
+                    f"{row['time_s']:.2e}s vs {gts_time:.2e}s"
+                )
+
+    # EGNAT's pre-computed tables make it the problem child on T-Loc: at the
+    # default scale it exhausts its (scaled) memory budget; at smaller bench
+    # scales the tables fit but remain the largest CPU-index storage
+    egnat_tloc = result.filter(dataset="tloc", method="EGNAT")
+    assert egnat_tloc
+    if egnat_tloc[0]["status"] == "ok":
+        cpu_storage = [
+            row["storage_mb"]
+            for method in ("BST", "MVPT")
+            for row in ok_rows(result, dataset="tloc", method=method)
+        ]
+        assert cpu_storage and egnat_tloc[0]["storage_mb"] > max(cpu_storage)
+    else:
+        assert egnat_tloc[0]["status"] in ("oom", "unsupported")
+
+    # special-purpose methods are unavailable on the string datasets
+    for method in ("LBPG-Tree", "GANNS"):
+        for dataset in ("words", "dna"):
+            rows = result.filter(dataset=dataset, method=method)
+            assert rows and rows[0]["status"] == "unsupported"
+
+    # GANNS builds a much larger index than GTS where both apply (paper: ~40x)
+    for dataset in ("vector", "color"):
+        ganns = ok_rows(result, dataset=dataset, method="GANNS")
+        gts = ok_rows(result, dataset=dataset, method="GTS")
+        if ganns and gts:
+            assert ganns[0]["storage_mb"] > 3 * gts[0]["storage_mb"]

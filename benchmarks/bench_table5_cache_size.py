@@ -1,0 +1,37 @@
+"""Table 5 — GTS update time under different cache-table sizes.
+
+Reproduced shape (paper): per-operation time first drops as the cache grows
+(fewer full rebuilds), then flattens / rises slightly for very large caches
+(every query must also scan a larger unindexed buffer); ~5 KB is a good
+middle ground.
+"""
+
+from __future__ import annotations
+
+from repro.evalsuite import experiment_table5_cache_size
+
+from .conftest import BENCH_SCALE, attach, ok_rows, run_once
+
+
+def test_table5_cache_size(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_table5_cache_size,
+        datasets=("words", "tloc", "color"),
+        cache_sizes_kb=(0.01, 0.1, 1, 5, 10),
+        num_updates=60,
+        scale=BENCH_SCALE,
+    )
+    attach(benchmark, result)
+
+    for dataset in ("words", "tloc", "color"):
+        rows = ok_rows(result, dataset=dataset)
+        assert len(rows) == 5, f"all cache sizes must complete on {dataset}"
+        by_cache = {row["cache_kb"]: row["time_per_op_s"] for row in rows}
+        # the tiniest cache (constant rebuilds) is never the fastest option
+        assert by_cache[0.01] >= min(by_cache.values())
+        # a moderate cache (1-5 KB) is at least as good as the tiny one
+        assert min(by_cache[1], by_cache[5]) <= by_cache[0.01]
+        # the tiny cache triggers more rebuilds than the large one
+        rebuilds = {row["cache_kb"]: row["rebuilds"] for row in rows}
+        assert rebuilds[0.01] >= rebuilds[10]

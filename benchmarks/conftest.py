@@ -1,0 +1,55 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper via the
+corresponding ``repro.evalsuite.experiments`` function, prints the resulting
+rows (the same rows/series the paper reports), attaches them to
+pytest-benchmark's ``extra_info`` and asserts on the qualitative *shape*
+(who wins, where failures appear) rather than on absolute numbers.
+
+The experiments measure **simulated device time**; pytest-benchmark's own
+wall-clock statistics only describe how long the simulation takes to run, so
+every benchmark executes exactly one round.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Scale factor applied to the default dataset cardinalities.  Override with
+#: ``REPRO_BENCH_SCALE=1.0`` for a fuller (slower) run.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+#: Number of queries per batch used by the query benchmarks.
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "48"))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def attach(benchmark, result) -> None:
+    """Attach an ExperimentResult's rows to the benchmark report and print them."""
+    benchmark.extra_info["experiment"] = result.experiment
+    benchmark.extra_info["rows"] = [
+        {k: v for k, v in row.items() if k != "payload"} for row in result.rows
+    ]
+    print()
+    print(result.to_text())
+
+
+def ok_rows(result, **criteria):
+    """Rows of the experiment that completed successfully and match the criteria."""
+    return [row for row in result.filter(**criteria) if row.get("status") == "ok"]
+
+
+@pytest.fixture
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture
+def bench_queries() -> int:
+    return BENCH_QUERIES

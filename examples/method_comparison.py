@@ -1,0 +1,70 @@
+"""Compare GTS against the paper's baselines on one workload of your choice.
+
+A miniature of the paper's Fig. 7 experiment: pick a dataset and a workload,
+build every applicable method, and print construction cost, storage, query
+throughput and distance computations side by side.
+
+Run with::
+
+    python examples/method_comparison.py            # default: the Color-like dataset
+    python examples/method_comparison.py words 2000 # dataset name and cardinality
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.datasets import available_datasets, get_dataset
+from repro.evalsuite import MethodRunner, make_workload
+from repro.evalsuite.reporting import format_bytes, format_seconds, format_table, format_throughput
+
+#: Methods attempted on every dataset; special-purpose ones are skipped
+#: automatically when the metric is unsupported (the "/" cells of Table 4).
+METHODS = ("BST", "MVPT", "EGNAT", "GPU-Table", "GPU-Tree", "LBPG-Tree", "GANNS", "GTS")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "color"
+    cardinality = int(sys.argv[2]) if len(sys.argv) > 2 else 2_000
+    if name not in available_datasets():
+        raise SystemExit(f"unknown dataset {name!r}; choose from {available_datasets()}")
+
+    dataset = get_dataset(name, cardinality=cardinality)
+    workload = make_workload(dataset, num_queries=64, radius_step=8, k=8)
+    print(f"dataset={dataset.name} (n={dataset.cardinality}, metric={dataset.metric.name}), "
+          f"batch={workload.batch_size}, radius={workload.radius:.4g}, k={workload.k}\n")
+
+    oracle = MethodRunner("LinearScan", dataset)
+    oracle.build()
+    ground_truth = oracle.index.knn_query_batch(workload.queries, workload.k)
+
+    rows = []
+    for method in METHODS:
+        runner = MethodRunner(method, dataset)
+        build = runner.build()
+        if build.failed:
+            rows.append({"method": method, "status": build.status})
+            continue
+        mrq = runner.run_mrq(workload.queries, workload.radius)
+        knn = runner.run_knn(workload.queries, workload.k, ground_truth=ground_truth)
+        rows.append(
+            {
+                "method": method,
+                "status": "ok",
+                "build": format_seconds(build.sim_time),
+                "storage": format_bytes(build.storage_bytes),
+                "MRQ q/min": format_throughput(mrq.throughput) if mrq.status == "ok" else mrq.status,
+                "kNN q/min": format_throughput(knn.throughput),
+                "kNN recall": f"{knn.recall:.2f}" if knn.recall is not None else "-",
+                "kNN dists": knn.distance_computations,
+            }
+        )
+
+    columns = ["method", "status", "build", "storage", "MRQ q/min", "kNN q/min", "kNN recall", "kNN dists"]
+    print(format_table(rows, columns, title=f"Method comparison on {dataset.name}"))
+    print("\nThroughput is simulated-device throughput; 'unsupported' marks the")
+    print("special-purpose baselines that cannot index this metric (Table 4's '/').")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Tuning the node capacity Nc with the Section 5.3 cost model.
+
+The node capacity is GTS's one real tuning knob: it trades pruning power
+(small Nc, deep tree, many pivots) against parallelism and per-level
+synchronisation (large Nc, shallow tree).  The paper derives a cost model to
+pick it without trial and error.
+
+This example sweeps Nc over the paper's candidate set on a word-embedding
+workload, measures the actual simulated query cost for each value, and prints
+it next to the cost model's prediction and recommendation — a small-scale
+version of Fig. 6 plus the model validation.
+
+Run with::
+
+    python examples/node_capacity_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro.core.cost_model import estimate_query_cost
+from repro.datasets import generate_vector
+from repro.evalsuite import PAPER_NODE_CAPACITIES, MethodRunner, make_workload
+from repro.evalsuite.reporting import format_seconds, format_table
+from repro.gpusim import DeviceSpec
+
+
+def main() -> None:
+    dataset = generate_vector(cardinality=1_200, seed=21)
+    workload = make_workload(dataset, num_queries=64, radius_step=8, k=8)
+    spec = DeviceSpec()
+    sigma = None
+
+    rows = []
+    best_measured = None
+    for nc in PAPER_NODE_CAPACITIES:
+        runner = MethodRunner("GTS", dataset, device_spec=spec, method_kwargs={"node_capacity": nc})
+        build = runner.build()
+        if sigma is None:
+            sigma = runner.index.gts.distance_distribution(sample_size=96).std
+        predicted = estimate_query_cost(
+            n=dataset.cardinality,
+            node_capacity=nc,
+            device=spec,
+            sigma=sigma,
+            radius=workload.radius,
+            metric_unit_cost=dataset.metric.unit_cost,
+        )
+        mrq = runner.run_mrq(workload.queries, workload.radius)
+        knn = runner.run_knn(workload.queries, workload.k)
+        measured = mrq.sim_time / len(workload.queries)
+        rows.append(
+            {
+                "Nc": nc,
+                "height": runner.index.gts.height,
+                "predicted/query": format_seconds(predicted),
+                "measured/query": format_seconds(measured),
+                "MRQ q/min": f"{mrq.throughput:,.0f}",
+                "kNN q/min": f"{knn.throughput:,.0f}",
+            }
+        )
+        if best_measured is None or measured < best_measured[1]:
+            best_measured = (nc, measured)
+
+    print(format_table(rows, ["Nc", "height", "predicted/query", "measured/query", "MRQ q/min", "kNN q/min"],
+                       title="Node capacity sweep on the Vector-like dataset"))
+    runner = MethodRunner("GTS", dataset)
+    runner.build()
+    recommended = runner.index.gts.recommend_node_capacity(radius=workload.radius)
+    print(f"\ncost model recommendation: Nc = {recommended}")
+    print(f"measured optimum:          Nc = {best_measured[0]}")
+    print("The two should agree or be neighbours in the candidate list — the same")
+    print("qualitative guidance the paper draws from its cost model (Fig. 6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Quickstart: build a GTS index over 2-d points and run batched similarity queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds the index over a clustered point set (a miniature of the
+paper's T-Loc workload), answers a batch of metric range queries and metric
+kNN queries, verifies one answer against a brute-force scan, and prints the
+simulated-GPU accounting that the evaluation harness uses for its throughput
+numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GTS, EuclideanDistance
+from repro.gpusim import Device, DeviceSpec, measure
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # --- a clustered 2-d dataset (think: user locations around a few cities)
+    centers = rng.uniform(-100, 100, size=(8, 2))
+    points = centers[rng.integers(0, 8, size=20_000)] + rng.normal(scale=1.5, size=(20_000, 2))
+
+    # --- build the index on a simulated GPU
+    metric = EuclideanDistance()
+    device = Device(DeviceSpec())
+    index = GTS.build(points, metric, node_capacity=20, device=device)
+    print(f"built GTS over {len(index)} points: height={index.height}, "
+          f"storage={index.storage_bytes / 1024:.1f} KiB, "
+          f"construction={index.build_result.sim_time * 1e3:.3f} ms (simulated)")
+
+    # --- batched metric range queries
+    queries = points[rng.integers(0, len(points), size=256)]
+    with measure(device, num_queries=len(queries)) as run:
+        range_results = index.range_query_batch(queries, radii=1.0)
+    hits = sum(len(r) for r in range_results)
+    print(f"MRQ batch of {len(queries)}: {hits} total answers, "
+          f"{run.sim_time * 1e3:.3f} ms simulated, "
+          f"throughput {run.throughput:,.0f} queries/min")
+
+    # --- batched metric kNN queries
+    with measure(device, num_queries=len(queries)) as run:
+        knn_results = index.knn_query_batch(queries, k=10)
+    print(f"MkNNQ batch of {len(queries)} (k=10): "
+          f"{run.sim_time * 1e3:.3f} ms simulated, "
+          f"throughput {run.throughput:,.0f} queries/min")
+
+    # --- verify one answer against brute force
+    q = queries[0]
+    brute = np.sort(np.sqrt(((points - q) ** 2).sum(axis=1)))[:10]
+    got = np.array([d for _, d in knn_results[0]])
+    assert np.allclose(np.sort(got), brute), "GTS answer differs from brute force!"
+    print("spot-check against brute force: OK")
+
+    # --- streaming updates through the cache table
+    new_id = index.insert(np.array([500.0, 500.0]))
+    index.delete(new_id)
+    print(f"streaming insert+delete processed; cache size = {index.cache_size}, "
+          f"rebuilds so far = {index.rebuild_count}")
+
+    # --- the cost model's node-capacity recommendation
+    recommended = index.recommend_node_capacity(radius=1.0)
+    print(f"cost model recommends node capacity Nc = {recommended}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Streaming updates: maintaining a GTS index over a live location feed.
+
+The paper motivates GTS's update design with social-media workloads: object
+streams (users moving, posts arriving) must be absorbed without rebuilding the
+index on every change, and queries issued in between must see a consistent,
+up-to-date picture.
+
+This example simulates such a feed over the T-Loc-like dataset:
+
+* every tick, a handful of users move (delete + insert), a few new users
+  appear, and a batch of "who is near me?" range queries arrives;
+* GTS absorbs the updates in its cache table and rebuilds only when the cache
+  outgrows its budget (the LSM-style lazy strategy of Section 4.4);
+* at the end the script reports per-operation update cost and the number of
+  automatic rebuilds, plus the same workload measured with the paper's
+  recommended ~5 KB cache and with a tiny cache for comparison (Table 5's
+  trade-off).
+
+Run with::
+
+    python examples/streaming_locations.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GTS
+from repro.datasets import generate_tloc
+from repro.gpusim import Device, DeviceSpec
+
+
+def run_feed(cache_bytes: int, ticks: int = 50, seed: int = 3) -> dict:
+    """Replay the same synthetic feed against a GTS index with the given cache size."""
+    dataset = generate_tloc(cardinality=8_000, seed=seed)
+    rng = np.random.default_rng(seed)
+    device = Device(DeviceSpec())
+    index = GTS.build(
+        list(np.asarray(dataset.objects)),
+        dataset.metric,
+        node_capacity=20,
+        device=device,
+        cache_capacity_bytes=cache_bytes,
+    )
+
+    live_ids = list(range(len(dataset.objects)))
+    update_ops = 0
+    query_count = 0
+    start = device.stats.sim_time
+    for _ in range(ticks):
+        # a few users move: delete the old position, insert the new one
+        for _ in range(4):
+            victim = live_ids.pop(int(rng.integers(0, len(live_ids))))
+            moved = index.get_object(victim) + rng.normal(scale=0.05, size=2)
+            index.delete(victim)
+            live_ids.append(index.insert(moved))
+            update_ops += 2
+        # a couple of new users appear
+        for _ in range(2):
+            live_ids.append(index.insert(rng.uniform(-180, 180, size=2)))
+            update_ops += 1
+        # a batch of "who is near me?" queries
+        queries = [index.get_object(live_ids[int(rng.integers(0, len(live_ids)))]) for _ in range(16)]
+        index.range_query_batch(queries, radii=0.5)
+        query_count += 16
+    elapsed = device.stats.sim_time - start
+    return {
+        "cache_bytes": cache_bytes,
+        "updates": update_ops,
+        "queries": query_count,
+        "rebuilds": index.rebuild_count,
+        "sim_seconds": elapsed,
+        "per_op_us": elapsed / (update_ops + query_count) * 1e6,
+    }
+
+
+def main() -> None:
+    print("replaying the same location feed with three cache-table budgets")
+    print(f"{'cache':>10} | {'updates':>7} | {'queries':>7} | {'rebuilds':>8} | {'us/op':>8}")
+    for cache_bytes in (64, 5 * 1024, 64 * 1024):
+        stats = run_feed(cache_bytes)
+        label = f"{cache_bytes} B" if cache_bytes < 1024 else f"{cache_bytes // 1024} KB"
+        print(
+            f"{label:>10} | {stats['updates']:>7} | {stats['queries']:>7} | "
+            f"{stats['rebuilds']:>8} | {stats['per_op_us']:>8.2f}"
+        )
+    print(
+        "\nA tiny cache rebuilds constantly; a huge cache makes every query scan a large\n"
+        "unindexed buffer.  The ~5 KB middle ground is the paper's recommendation (Table 5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Recall and precision utilities for approximate similarity search.
+
+Approximate methods (``ApproximateGTS``, ``LearnedLeafRouter``, the GANNS
+baseline) trade answer completeness for fewer distance computations.  The
+functions here quantify that trade-off by comparing an approximate answer
+with the exact answer produced by :class:`~repro.core.gts.GTS` or
+:class:`~repro.baselines.linear_scan.LinearScan`.
+
+All functions accept answers in the library's standard result format: a list
+of ``(object_id, distance)`` pairs per query.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import QueryError
+
+__all__ = ["knn_recall", "mean_knn_recall", "range_recall", "mean_range_recall"]
+
+
+def _ids(result: Sequence[tuple[int, float]]) -> set[int]:
+    return {int(obj_id) for obj_id, _ in result}
+
+
+def knn_recall(
+    approximate: Sequence[tuple[int, float]],
+    exact: Sequence[tuple[int, float]],
+    tie_tolerance: float = 1e-9,
+) -> float:
+    """Recall@k of one approximate kNN answer against the exact answer.
+
+    Ties are treated generously: an approximate neighbour whose distance is
+    within ``tie_tolerance`` of the exact k-th distance counts as correct even
+    if its id differs (both answers are then equally valid k-sets).
+    """
+    if not exact:
+        return 1.0
+    exact_ids = _ids(exact)
+    kth = max(dist for _, dist in exact)
+    correct = 0
+    for obj_id, dist in approximate:
+        if int(obj_id) in exact_ids or dist <= kth + tie_tolerance:
+            correct += 1
+    return min(1.0, correct / len(exact))
+
+
+def mean_knn_recall(
+    approximate: Sequence[Sequence[tuple[int, float]]],
+    exact: Sequence[Sequence[tuple[int, float]]],
+    tie_tolerance: float = 1e-9,
+) -> float:
+    """Mean recall@k over a batch of queries."""
+    if len(approximate) != len(exact):
+        raise QueryError(
+            f"batch size mismatch: {len(approximate)} approximate vs {len(exact)} exact answers"
+        )
+    if not exact:
+        return 1.0
+    values = [knn_recall(a, e, tie_tolerance) for a, e in zip(approximate, exact)]
+    return float(np.mean(values))
+
+
+def range_recall(
+    approximate: Sequence[tuple[int, float]],
+    exact: Sequence[tuple[int, float]],
+) -> float:
+    """Recall of one approximate range answer: |approx ∩ exact| / |exact|."""
+    if not exact:
+        return 1.0
+    exact_ids = _ids(exact)
+    return len(_ids(approximate) & exact_ids) / len(exact_ids)
+
+
+def mean_range_recall(
+    approximate: Sequence[Sequence[tuple[int, float]]],
+    exact: Sequence[Sequence[tuple[int, float]]],
+) -> float:
+    """Mean range-query recall over a batch of queries."""
+    if len(approximate) != len(exact):
+        raise QueryError(
+            f"batch size mismatch: {len(approximate)} approximate vs {len(exact)} exact answers"
+        )
+    if not exact:
+        return 1.0
+    values = [range_recall(a, e) for a, e in zip(approximate, exact)]
+    return float(np.mean(values))

@@ -1,0 +1,85 @@
+"""Baseline similarity-search methods used in the paper's evaluation.
+
+CPU methods (sequential cost model): the paper's competitors BST, MVPT and
+EGNAT, plus a LinearScan oracle and the related-work methods LAESA, List of
+Clusters, EPT, M-tree and GNAT (Section 2).  GPU methods (simulated device):
+GPU-Table, GPU-Tree, LBPG-Tree and GANNS, plus the GTS adapter so every
+method can be driven uniformly.
+"""
+
+from typing import Callable, Dict
+
+from ..exceptions import BaselineError
+from .base import CPUSimilarityIndex, GPUSimilarityIndex, SimilarityIndex
+from .bst import BisectorTree
+from .egnat import EGNAT
+from .ept import ExtremePivotsTable
+from .ganns import GANNS
+from .gnat import GNAT
+from .gpu_table import GPUTable
+from .gpu_tree import GPUTree
+from .gts_adapter import GTSIndex
+from .laesa import LAESA
+from .lbpg_tree import LBPGTree
+from .linear_scan import LinearScan
+from .list_of_clusters import ListOfClusters
+from .mtree import MTree
+from .mvpt import MVPTree
+
+__all__ = [
+    "SimilarityIndex",
+    "CPUSimilarityIndex",
+    "GPUSimilarityIndex",
+    "LinearScan",
+    "BisectorTree",
+    "MVPTree",
+    "EGNAT",
+    "LAESA",
+    "ListOfClusters",
+    "ExtremePivotsTable",
+    "MTree",
+    "GNAT",
+    "GPUTable",
+    "GPUTree",
+    "LBPGTree",
+    "GANNS",
+    "GTSIndex",
+    "get_method",
+    "available_methods",
+    "METHOD_REGISTRY",
+]
+
+#: Factory registry used by the evaluation harness; keys match the paper's
+#: method names (the related-work CPU methods extend the paper's set).
+METHOD_REGISTRY: Dict[str, Callable[..., SimilarityIndex]] = {
+    "LinearScan": LinearScan,
+    "BST": BisectorTree,
+    "MVPT": MVPTree,
+    "EGNAT": EGNAT,
+    "LAESA": LAESA,
+    "LC": ListOfClusters,
+    "EPT": ExtremePivotsTable,
+    "M-tree": MTree,
+    "GNAT": GNAT,
+    "GPU-Table": GPUTable,
+    "GPU-Tree": GPUTree,
+    "LBPG-Tree": LBPGTree,
+    "GANNS": GANNS,
+    "GTS": GTSIndex,
+}
+
+
+def available_methods() -> list[str]:
+    """Return the registered method names in the paper's presentation order."""
+    return list(METHOD_REGISTRY)
+
+
+def get_method(name: str, metric, **kwargs) -> SimilarityIndex:
+    """Instantiate the method registered under ``name`` for ``metric``."""
+    try:
+        factory = METHOD_REGISTRY[name]
+    except KeyError:
+        raise BaselineError(
+            f"unknown method {name!r}; available: {', '.join(available_methods())}"
+        ) from None
+    return factory(metric, **kwargs)

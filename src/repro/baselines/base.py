@@ -1,0 +1,192 @@
+"""Common interface of every baseline index used in the paper's evaluation.
+
+The evaluation (Section 6) compares GTS against seven competitors.  They all
+implement :class:`SimilarityIndex`, which mirrors the public surface of
+:class:`repro.core.gts.GTS` — ``build``, ``range_query_batch``,
+``knn_query_batch``, streaming ``insert`` / ``delete`` and ``batch_update`` —
+so the evaluation runner can drive every method identically.
+
+Two execution substrates exist:
+
+* CPU baselines own a :class:`~repro.gpusim.cpu.CPUExecutor`;
+* GPU baselines own a :class:`~repro.gpusim.device.Device`.
+
+``sim_stats`` exposes whichever one applies, so throughput is always computed
+from the same kind of simulated clock.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import BaselineError, UnsupportedMetricError
+from ..gpusim.cpu import CPUExecutor
+from ..gpusim.device import Device
+from ..gpusim.specs import CPUSpec, DeviceSpec
+from ..gpusim.stats import ExecutionStats
+from ..metrics.base import Metric
+
+__all__ = ["SimilarityIndex", "CPUSimilarityIndex", "GPUSimilarityIndex"]
+
+
+class SimilarityIndex(ABC):
+    """Abstract similarity-search index over a metric space."""
+
+    #: short method name used in reports ("BST", "MVPT", "GTS", ...)
+    name: str = "abstract"
+    #: whether the method runs on the (simulated) GPU
+    is_gpu: bool = False
+    #: whether the method returns exact answers
+    is_exact: bool = True
+    #: whether the method supports metric range queries
+    supports_range: bool = True
+
+    def __init__(self, metric: Metric):
+        self.metric = metric
+        self._objects: list = []
+        self._built = False
+
+    # ------------------------------------------------------------ capability
+    @classmethod
+    def supports_metric(cls, metric: Metric) -> bool:
+        """Whether this method can index data under ``metric``.
+
+        General-purpose methods return True unconditionally; special-purpose
+        ones (LBPG-Tree, GANNS) override this, which is how the "/" cells of
+        Table 4 arise.
+        """
+        return True
+
+    def _check_metric(self) -> None:
+        if not self.supports_metric(self.metric):
+            raise UnsupportedMetricError(
+                f"{self.name} does not support the {self.metric.name!r} metric"
+            )
+
+    # --------------------------------------------------------------- building
+    def build(self, objects: Sequence) -> None:
+        """Index ``objects``; their positions become the persistent ids."""
+        self._check_metric()
+        if len(objects) == 0:
+            raise BaselineError(f"{self.name}: cannot build over an empty object set")
+        self._objects = [objects[i] for i in range(len(objects))]
+        self._build_impl()
+        self._built = True
+
+    @abstractmethod
+    def _build_impl(self) -> None:
+        """Method-specific construction over ``self._objects``."""
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise BaselineError(f"{self.name}: the index has not been built yet")
+
+    # ---------------------------------------------------------------- queries
+    @abstractmethod
+    def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
+        """Answer a batch of metric range queries."""
+
+    @abstractmethod
+    def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
+        """Answer a batch of metric kNN queries."""
+
+    def range_query(self, query, radius: float) -> list[tuple[int, float]]:
+        """Single-query convenience wrapper."""
+        return self.range_query_batch([query], radius)[0]
+
+    def knn_query(self, query, k: int) -> list[tuple[int, float]]:
+        """Single-query convenience wrapper."""
+        return self.knn_query_batch([query], k)[0]
+
+    # ---------------------------------------------------------------- updates
+    def insert(self, obj) -> int:
+        """Streaming insertion.  Default strategy: rebuild from scratch.
+
+        This default mirrors the paper's observation that most competitors
+        (LBPG-Tree, GANNS, and GPU methods in general) have no incremental
+        path and must reconstruct; CPU trees override it with their cheaper
+        structural insertions.
+        """
+        self._require_built()
+        obj_id = len(self._objects)
+        self._objects.append(obj)
+        self._build_impl()
+        return obj_id
+
+    def delete(self, obj_id: int) -> None:
+        """Streaming deletion.  Default strategy: rebuild from scratch."""
+        self._require_built()
+        obj_id = int(obj_id)
+        if obj_id < 0 or obj_id >= len(self._objects) or self._objects[obj_id] is None:
+            raise BaselineError(f"{self.name}: unknown object id {obj_id}")
+        self._objects[obj_id] = None
+        self._build_impl()
+
+    def batch_update(self, inserts: Sequence = (), deletes: Sequence[int] = ()) -> None:
+        """Bulk update: apply all changes then rebuild once."""
+        self._require_built()
+        for obj_id in deletes:
+            obj_id = int(obj_id)
+            if obj_id < 0 or obj_id >= len(self._objects) or self._objects[obj_id] is None:
+                raise BaselineError(f"{self.name}: unknown object id {obj_id}")
+            self._objects[obj_id] = None
+        for obj in inserts:
+            self._objects.append(obj)
+        self._build_impl()
+
+    # ------------------------------------------------------------- accounting
+    @property
+    @abstractmethod
+    def sim_stats(self) -> ExecutionStats:
+        """Execution statistics of the method's substrate."""
+
+    @property
+    @abstractmethod
+    def storage_bytes(self) -> int:
+        """Bytes of index storage (excluding the raw objects)."""
+
+    @property
+    def num_objects(self) -> int:
+        """Number of live objects currently indexed."""
+        return sum(1 for o in self._objects if o is not None)
+
+    def live_ids(self) -> np.ndarray:
+        """Ids of the live (non-deleted) objects."""
+        return np.array(
+            [i for i, o in enumerate(self._objects) if o is not None], dtype=np.int64
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "built" if self._built else "empty"
+        return f"{type(self).__name__}({state}, objects={self.num_objects})"
+
+
+class CPUSimilarityIndex(SimilarityIndex):
+    """Baseline running on the sequential CPU cost model."""
+
+    is_gpu = False
+
+    def __init__(self, metric: Metric, cpu_spec: Optional[CPUSpec] = None):
+        super().__init__(metric)
+        self.executor = CPUExecutor(cpu_spec)
+
+    @property
+    def sim_stats(self) -> ExecutionStats:
+        return self.executor.stats
+
+
+class GPUSimilarityIndex(SimilarityIndex):
+    """Baseline running on the simulated GPU device."""
+
+    is_gpu = True
+
+    def __init__(self, metric: Metric, device: Optional[Device] = None):
+        super().__init__(metric)
+        self.device = device or Device(DeviceSpec())
+
+    @property
+    def sim_stats(self) -> ExecutionStats:
+        return self.device.stats

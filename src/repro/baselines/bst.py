@@ -1,0 +1,225 @@
+"""BST — the Bisector Tree of Kalantari & McDonald (1983), a CPU baseline.
+
+The bisector tree is the oldest of the paper's CPU competitors (Table 4 and
+Figs. 5/7/9/11).  Every internal node holds two *centers* drawn from its
+objects; each remaining object is assigned to its nearer center, and each of
+the two resulting groups stores the covering radius of its center.  Queries
+descend recursively and skip a subtree whenever the query ball cannot
+intersect the subtree's covering ball:
+
+    ``d(q, center) > covering_radius + r``            (range query)
+    ``d(q, center) >= covering_radius + d(q, k_cur)``  (kNN)
+
+Construction recursion stops when a node holds at most ``leaf_size`` objects.
+Updates are structural: an insertion walks down to the closer center and
+appends to a leaf (splitting it when it overflows), which is why BST-style
+CPU trees win the *streaming* update comparison of Fig. 5(a) while losing the
+batch one of Fig. 5(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import BaselineError
+from .base import CPUSimilarityIndex
+
+__all__ = ["BisectorTree"]
+
+
+@dataclass
+class _BSTNode:
+    """One node of the bisector tree."""
+
+    object_ids: list[int] = field(default_factory=list)
+    center_a: Optional[int] = None
+    center_b: Optional[int] = None
+    #: the center objects are stored by value so that lazily deleting the
+    #: underlying object never breaks routing decisions
+    center_a_obj: object = None
+    center_b_obj: object = None
+    radius_a: float = 0.0
+    radius_b: float = 0.0
+    child_a: Optional["_BSTNode"] = None
+    child_b: Optional["_BSTNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.child_a is None and self.child_b is None
+
+
+class BisectorTree(CPUSimilarityIndex):
+    """Exact CPU bisector-tree index."""
+
+    name = "BST"
+
+    def __init__(self, metric, cpu_spec=None, leaf_size: int = 16, seed: int = 23):
+        super().__init__(metric, cpu_spec)
+        if leaf_size < 2:
+            raise BaselineError("BST leaf size must be at least 2")
+        self.leaf_size = int(leaf_size)
+        self._rng = np.random.default_rng(seed)
+        self._root: Optional[_BSTNode] = None
+        self._node_count = 0
+
+    # ---------------------------------------------------------------- build
+    def _build_impl(self) -> None:
+        self._node_count = 0
+        ids = self.live_ids().tolist()
+        self._root = self._build_node(ids)
+
+    def _build_node(self, ids: list[int]) -> _BSTNode:
+        self._node_count += 1
+        node = _BSTNode(object_ids=list(ids))
+        if len(ids) <= self.leaf_size:
+            return node
+        # pick two distinct centers: one random, the other the farthest from it
+        first = ids[int(self._rng.integers(0, len(ids)))]
+        dists_first = self.executor.distances(
+            self.metric, self._objects[first], [self._objects[i] for i in ids]
+        )
+        second = ids[int(np.argmax(dists_first))]
+        if second == first:
+            return node  # all objects identical: keep as an (over-full) leaf
+        dists_second = self.executor.distances(
+            self.metric, self._objects[second], [self._objects[i] for i in ids]
+        )
+        group_a, group_b = [], []
+        rad_a, rad_b = 0.0, 0.0
+        for obj_id, da, db in zip(ids, dists_first, dists_second):
+            if da <= db:
+                group_a.append(obj_id)
+                rad_a = max(rad_a, float(da))
+            else:
+                group_b.append(obj_id)
+                rad_b = max(rad_b, float(db))
+        if not group_a or not group_b:
+            return node
+        node.object_ids = []
+        node.center_a, node.center_b = first, second
+        node.center_a_obj = self._objects[first]
+        node.center_b_obj = self._objects[second]
+        node.radius_a, node.radius_b = rad_a, rad_b
+        node.child_a = self._build_node(group_a)
+        node.child_b = self._build_node(group_b)
+        return node
+
+    @property
+    def storage_bytes(self) -> int:
+        # centers, radii and child pointers per node plus one id slot per object
+        return int(self._node_count * 48 + self.num_objects * 8)
+
+    # --------------------------------------------------------------- queries
+    def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries),))
+        out = []
+        for query, radius in zip(queries, radii_arr):
+            hits: list[tuple[int, float]] = []
+            self._range_rec(self._root, query, float(radius), hits)
+            out.append(sorted(hits, key=lambda p: (p[1], p[0])))
+        return out
+
+    def _range_rec(self, node: _BSTNode, query, radius: float, hits: list) -> None:
+        if node is None:
+            return
+        if node.is_leaf:
+            live = [i for i in node.object_ids if self._objects[i] is not None]
+            if not live:
+                return
+            dists = self.executor.distances(
+                self.metric, query, [self._objects[i] for i in live]
+            )
+            for obj_id, dist in zip(live, dists):
+                if dist <= radius:
+                    hits.append((int(obj_id), float(dist)))
+            return
+        da = self.executor.distance(self.metric, query, node.center_a_obj)
+        db = self.executor.distance(self.metric, query, node.center_b_obj)
+        if self._objects[node.center_a] is not None and da <= radius:
+            hits.append((int(node.center_a), float(da)))
+        if self._objects[node.center_b] is not None and db <= radius:
+            hits.append((int(node.center_b), float(db)))
+        if da <= node.radius_a + radius:
+            self._range_rec(node.child_a, query, radius, hits)
+        if db <= node.radius_b + radius:
+            self._range_rec(node.child_b, query, radius, hits)
+
+    def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
+        out = []
+        for query, kk in zip(queries, k_arr):
+            pool: dict[int, float] = {}
+            self._knn_rec(self._root, query, int(kk), pool)
+            ranked = sorted(pool.items(), key=lambda p: (p[1], p[0]))[: int(kk)]
+            out.append([(int(i), float(d)) for i, d in ranked])
+        return out
+
+    def _knn_bound(self, pool: dict, k: int) -> float:
+        if len(pool) < k:
+            return np.inf
+        return sorted(pool.values())[k - 1]
+
+    def _knn_rec(self, node: _BSTNode, query, k: int, pool: dict) -> None:
+        if node is None:
+            return
+        if node.is_leaf:
+            live = [i for i in node.object_ids if self._objects[i] is not None]
+            if not live:
+                return
+            dists = self.executor.distances(
+                self.metric, query, [self._objects[i] for i in live]
+            )
+            for obj_id, dist in zip(live, dists):
+                prev = pool.get(int(obj_id))
+                if prev is None or dist < prev:
+                    pool[int(obj_id)] = float(dist)
+            return
+        da = self.executor.distance(self.metric, query, node.center_a_obj)
+        db = self.executor.distance(self.metric, query, node.center_b_obj)
+        if self._objects[node.center_a] is not None:
+            pool[int(node.center_a)] = min(pool.get(int(node.center_a), np.inf), float(da))
+        if self._objects[node.center_b] is not None:
+            pool[int(node.center_b)] = min(pool.get(int(node.center_b), np.inf), float(db))
+        # visit the nearer subtree first so the bound tightens quickly
+        order = [(da, node.radius_a, node.child_a), (db, node.radius_b, node.child_b)]
+        order.sort(key=lambda item: item[0])
+        for dist, covering, child in order:
+            bound = self._knn_bound(pool, k)
+            if dist <= covering + bound:
+                self._knn_rec(child, query, k, pool)
+
+    # --------------------------------------------------------------- updates
+    def insert(self, obj) -> int:
+        """Structural insertion: descend to the nearer center, append to a leaf."""
+        self._require_built()
+        obj_id = len(self._objects)
+        self._objects.append(obj)
+        node = self._root
+        while not node.is_leaf:
+            da = self.executor.distance(self.metric, obj, node.center_a_obj)
+            db = self.executor.distance(self.metric, obj, node.center_b_obj)
+            if da <= db:
+                node.radius_a = max(node.radius_a, float(da))
+                node = node.child_a
+            else:
+                node.radius_b = max(node.radius_b, float(db))
+                node = node.child_b
+        node.object_ids.append(obj_id)
+        if len(node.object_ids) > 4 * self.leaf_size:
+            rebuilt = self._build_node([i for i in node.object_ids if self._objects[i] is not None])
+            node.__dict__.update(rebuilt.__dict__)
+        return obj_id
+
+    def delete(self, obj_id: int) -> None:
+        """Lazy deletion: the object is hidden from queries; structure unchanged."""
+        self._require_built()
+        obj_id = int(obj_id)
+        if obj_id < 0 or obj_id >= len(self._objects) or self._objects[obj_id] is None:
+            raise BaselineError(f"{self.name}: unknown object id {obj_id}")
+        self._objects[obj_id] = None
+        self.executor.execute(1.0, label="delete")

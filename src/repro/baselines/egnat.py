@@ -1,0 +1,268 @@
+"""EGNAT — Evolutionary/Extended GNAT (Navarro & Uribe-Paredes), a CPU baseline.
+
+EGNAT is the paper's "hybrid" CPU competitor: a Geometric Near-neighbor
+Access Tree whose every internal node
+
+* selects ``arity`` split points among its objects,
+* assigns every remaining object to its closest split point, and
+* pre-computes, for every (split point ``i``, subtree ``j``) pair, the
+  ``[min, max]`` range of distances from split point ``i`` to the objects of
+  subtree ``j``.
+
+At query time the distances from the query to the node's split points prune
+whole subtrees via those ranges.  The pre-computed ``arity × arity`` range
+tables are also the reason for EGNAT's very large memory footprint — the
+behaviour behind its out-of-memory entries in Table 4 and Fig. 11 — which the
+optional ``memory_budget_bytes`` reproduces: construction aborts with
+:class:`~repro.exceptions.BaselineError` once the estimated index size
+exceeds the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import BaselineError
+from .base import CPUSimilarityIndex
+
+__all__ = ["EGNAT"]
+
+
+@dataclass
+class _GNATNode:
+    """One node of the (E)GNAT."""
+
+    object_ids: list[int] = field(default_factory=list)
+    split_ids: list[int] = field(default_factory=list)
+    split_objs: list = field(default_factory=list)
+    #: ranges[i][j] = (min, max) distance from split point i to subtree j
+    ranges: list[list[tuple[float, float]]] = field(default_factory=list)
+    children: list["_GNATNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class EGNAT(CPUSimilarityIndex):
+    """Exact CPU GNAT-style index with pre-computed range tables."""
+
+    name = "EGNAT"
+
+    def __init__(
+        self,
+        metric,
+        cpu_spec=None,
+        arity: int = 8,
+        leaf_size: int = 16,
+        seed: int = 31,
+        memory_budget_bytes: Optional[int] = None,
+    ):
+        super().__init__(metric, cpu_spec)
+        if arity < 2:
+            raise BaselineError("EGNAT arity must be at least 2")
+        self.arity = int(arity)
+        self.leaf_size = int(leaf_size)
+        self.memory_budget_bytes = memory_budget_bytes
+        self._rng = np.random.default_rng(seed)
+        self._root: Optional[_GNATNode] = None
+        self._node_count = 0
+        self._range_cells = 0
+
+    # ---------------------------------------------------------------- build
+    def _build_impl(self) -> None:
+        self._node_count = 0
+        self._range_cells = 0
+        self._root = self._build_node(self.live_ids().tolist())
+
+    def _check_budget(self) -> None:
+        if self.memory_budget_bytes is not None and self.storage_bytes > self.memory_budget_bytes:
+            raise BaselineError(
+                f"EGNAT ran out of memory: index needs more than "
+                f"{self.memory_budget_bytes} bytes (pre-computed range tables)"
+            )
+
+    def _build_node(self, ids: list[int]) -> _GNATNode:
+        self._node_count += 1
+        self._check_budget()
+        node = _GNATNode(object_ids=list(ids))
+        if len(ids) <= max(self.leaf_size, self.arity):
+            return node
+        # split point selection: greedy farthest-first among a random sample
+        split_ids = [ids[int(self._rng.integers(0, len(ids)))]]
+        objs = [self._objects[i] for i in ids]
+        while len(split_ids) < self.arity:
+            dmin = np.full(len(ids), np.inf)
+            for sid in split_ids:
+                d = self.executor.distances(self.metric, self._objects[sid], objs)
+                dmin = np.minimum(dmin, d)
+            candidate = ids[int(np.argmax(dmin))]
+            if candidate in split_ids:
+                break
+            split_ids.append(candidate)
+        if len(split_ids) < 2:
+            return node
+        # assign objects to their closest split point
+        dist_to_splits = np.stack(
+            [self.executor.distances(self.metric, self._objects[sid], objs) for sid in split_ids]
+        )
+        nearest = np.argmin(dist_to_splits, axis=0)
+        groups: list[list[int]] = [[] for _ in split_ids]
+        position_of = {obj_id: pos for pos, obj_id in enumerate(ids)}
+        for pos, obj_id in enumerate(ids):
+            groups[int(nearest[pos])].append(obj_id)
+        if sum(1 for g in groups if g) < 2:
+            return node
+        node.object_ids = []
+        node.split_ids = split_ids
+        node.split_objs = [self._objects[sid] for sid in split_ids]
+        # pre-computed (split, subtree) distance ranges — the expensive part
+        node.ranges = []
+        for i in range(len(split_ids)):
+            row = []
+            for j, group in enumerate(groups):
+                if not group:
+                    row.append((np.inf, -np.inf))
+                    continue
+                d = dist_to_splits[i][[position_of[g] for g in group]]
+                row.append((float(d.min()), float(d.max())))
+                self._range_cells += 1
+            node.ranges.append(row)
+        self._check_budget()
+        node.children = [self._build_node(group) if group else _GNATNode() for group in groups]
+        return node
+
+    @property
+    def storage_bytes(self) -> int:
+        # Each range cell stores two doubles; nodes store split ids and
+        # pointers; in addition EGNAT keeps, for every object, the distances
+        # to its ancestors' split points (the per-leaf distance tables that
+        # make it the most storage-hungry CPU method in Table 4).
+        return int(
+            self._range_cells * 16
+            + self._node_count * (self.arity * 16 + 16)
+            + self.num_objects * (8 + self.arity * 8 * 4)
+        )
+
+    # --------------------------------------------------------------- queries
+    def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries),))
+        out = []
+        for query, radius in zip(queries, radii_arr):
+            hits: list[tuple[int, float]] = []
+            self._range_rec(self._root, query, float(radius), hits)
+            out.append(sorted(set(hits), key=lambda p: (p[1], p[0])))
+        return out
+
+    def _range_rec(self, node: _GNATNode, query, radius: float, hits: list) -> None:
+        if node.is_leaf:
+            live = [i for i in node.object_ids if self._objects[i] is not None]
+            if not live:
+                return
+            dists = self.executor.distances(self.metric, query, [self._objects[i] for i in live])
+            for obj_id, dist in zip(live, dists):
+                if dist <= radius:
+                    hits.append((int(obj_id), float(dist)))
+            return
+        split_dists = [
+            self.executor.distance(self.metric, query, obj) for obj in node.split_objs
+        ]
+        for sid, dist in zip(node.split_ids, split_dists):
+            if self._objects[sid] is not None and dist <= radius:
+                hits.append((int(sid), float(dist)))
+        alive = [True] * len(node.children)
+        for i, dqs in enumerate(split_dists):
+            for j in range(len(node.children)):
+                if not alive[j]:
+                    continue
+                lo, hi = node.ranges[i][j]
+                if dqs + radius < lo or dqs - radius > hi:
+                    alive[j] = False
+        for j, child in enumerate(node.children):
+            if alive[j] and child.object_ids or (alive[j] and not child.is_leaf):
+                self._range_rec(child, query, radius, hits)
+
+    def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
+        out = []
+        for query, kk in zip(queries, k_arr):
+            pool: dict[int, float] = {}
+            self._knn_rec(self._root, query, int(kk), pool)
+            ranked = sorted(pool.items(), key=lambda p: (p[1], p[0]))[: int(kk)]
+            out.append([(int(i), float(d)) for i, d in ranked])
+        return out
+
+    def _knn_bound(self, pool: dict, k: int) -> float:
+        if len(pool) < k:
+            return np.inf
+        return sorted(pool.values())[k - 1]
+
+    def _knn_rec(self, node: _GNATNode, query, k: int, pool: dict) -> None:
+        if node.is_leaf:
+            live = [i for i in node.object_ids if self._objects[i] is not None]
+            if not live:
+                return
+            dists = self.executor.distances(self.metric, query, [self._objects[i] for i in live])
+            for obj_id, dist in zip(live, dists):
+                prev = pool.get(int(obj_id))
+                if prev is None or dist < prev:
+                    pool[int(obj_id)] = float(dist)
+            return
+        split_dists = [
+            self.executor.distance(self.metric, query, obj) for obj in node.split_objs
+        ]
+        for sid, dist in zip(node.split_ids, split_dists):
+            if self._objects[sid] is not None:
+                prev = pool.get(int(sid))
+                if prev is None or dist < prev:
+                    pool[int(sid)] = float(dist)
+        # visit children ordered by the distance to their split point
+        order = np.argsort(split_dists)
+        for j in order:
+            child = node.children[int(j)]
+            if child.is_leaf and not child.object_ids:
+                continue
+            bound = self._knn_bound(pool, k)
+            prunable = False
+            for i, dqs in enumerate(split_dists):
+                lo, hi = node.ranges[i][int(j)]
+                if dqs + bound < lo or dqs - bound > hi:
+                    prunable = True
+                    break
+            if not prunable:
+                self._knn_rec(child, query, k, pool)
+
+    # --------------------------------------------------------------- updates
+    def insert(self, obj) -> int:
+        """Structural insertion: descend to the closest split point's subtree."""
+        self._require_built()
+        obj_id = len(self._objects)
+        self._objects.append(obj)
+        node = self._root
+        while not node.is_leaf:
+            dists = [self.executor.distance(self.metric, obj, o) for o in node.split_objs]
+            j = int(np.argmin(dists))
+            # widen the affected ranges so pruning stays correct
+            for i, d in enumerate(dists):
+                lo, hi = node.ranges[i][j]
+                node.ranges[i][j] = (min(lo, float(d)), max(hi, float(d)))
+            node = node.children[j]
+        node.object_ids.append(obj_id)
+        if len(node.object_ids) > 4 * max(self.leaf_size, self.arity):
+            rebuilt = self._build_node([i for i in node.object_ids if self._objects[i] is not None])
+            node.__dict__.update(rebuilt.__dict__)
+        return obj_id
+
+    def delete(self, obj_id: int) -> None:
+        """Lazy deletion: hide the object from query answers."""
+        self._require_built()
+        obj_id = int(obj_id)
+        if obj_id < 0 or obj_id >= len(self._objects) or self._objects[obj_id] is None:
+            raise BaselineError(f"{self.name}: unknown object id {obj_id}")
+        self._objects[obj_id] = None
+        self.executor.execute(1.0, label="delete")

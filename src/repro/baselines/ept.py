@@ -1,0 +1,191 @@
+"""EPT — Extreme Pivots Table (Ruiz et al.), a CPU table-based baseline.
+
+EPT is the third table-based CPU method named in the paper's related work
+(Section 2).  Instead of storing the distances from every object to *every*
+pivot (as LAESA does), EPT keeps ``num_groups`` pivot groups and, per group,
+each object stores only its distance to the *single* pivot of the group that
+discriminates it best — the pivot whose distance to the object deviates the
+most from the typical pivot-to-object distance ``mu``.  That keeps the table
+at ``n x num_groups`` entries while retaining most of the pruning power of a
+much larger pivot set.
+
+The query procedure mirrors LAESA: compute the distances from the query to
+all pivots once, derive a per-object lower bound from the stored
+(pivot, distance) pairs, and verify only the survivors.  Answers are exact.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import BaselineError
+from .base import CPUSimilarityIndex
+
+__all__ = ["ExtremePivotsTable"]
+
+
+class ExtremePivotsTable(CPUSimilarityIndex):
+    """Exact CPU extreme-pivots table index."""
+
+    name = "EPT"
+
+    def __init__(
+        self,
+        metric,
+        cpu_spec=None,
+        num_groups: int = 4,
+        pivots_per_group: int = 4,
+        sample_size: int = 64,
+        seed: int = 47,
+    ):
+        super().__init__(metric, cpu_spec)
+        if num_groups < 1 or pivots_per_group < 1:
+            raise BaselineError("EPT needs at least one group with at least one pivot")
+        self.num_groups = int(num_groups)
+        self.pivots_per_group = int(pivots_per_group)
+        self.sample_size = int(sample_size)
+        self._rng = np.random.default_rng(seed)
+        #: pivot objects per group, ``[group][pivot]``
+        self._group_pivots: list[list] = []
+        #: flat list of (group, pivot_index) -> global pivot position
+        self._pivot_offsets: list[int] = []
+        #: per object and group: index of the selected pivot within the group
+        self._selected: np.ndarray = np.zeros((0, 0), dtype=np.int64)
+        #: per object and group: distance to the selected pivot
+        self._selected_dist: np.ndarray = np.zeros((0, 0), dtype=np.float64)
+
+    # ---------------------------------------------------------------- build
+    def _build_impl(self) -> None:
+        live = self.live_ids().tolist()
+        groups = min(self.num_groups, len(live))
+        per_group = min(self.pivots_per_group, len(live))
+        self._group_pivots = []
+        n = len(self._objects)
+        self._selected = np.zeros((n, groups), dtype=np.int64)
+        self._selected_dist = np.full((n, groups), np.inf, dtype=np.float64)
+        mu = self._estimate_mean_distance(live)
+        for g in range(groups):
+            pivot_ids = self._rng.choice(live, size=per_group, replace=False)
+            pivots = [self._objects[int(i)] for i in pivot_ids]
+            self._group_pivots.append(pivots)
+            # distances from every pivot of the group to every live object
+            dists = np.stack(
+                [
+                    self.executor.distances(self.metric, pivot, [self._objects[i] for i in live],
+                                            label="ept-table")
+                    for pivot in pivots
+                ]
+            )
+            # the extreme pivot of an object deviates the most from mu
+            deviation = np.abs(dists - mu)
+            chosen = np.argmax(deviation, axis=0)
+            self._selected[live, g] = chosen
+            self._selected_dist[live, g] = dists[chosen, np.arange(len(live))]
+
+    def _estimate_mean_distance(self, live: list[int]) -> float:
+        """Estimate the typical pairwise distance ``mu`` from a small sample."""
+        size = min(self.sample_size, len(live))
+        if size < 2:
+            return 0.0
+        sample = self._rng.choice(live, size=size, replace=False)
+        left = sample[: size // 2]
+        right = sample[size // 2: 2 * (size // 2)]
+        dists = [
+            self.executor.distance(self.metric, self._objects[int(a)], self._objects[int(b)],
+                                   label="ept-sample")
+            for a, b in zip(left, right)
+        ]
+        return float(np.mean(dists)) if dists else 0.0
+
+    @property
+    def storage_bytes(self) -> int:
+        pivot_count = sum(len(g) for g in self._group_pivots)
+        return int(self._selected.size * (8 + 8) + pivot_count * 8)
+
+    # --------------------------------------------------------------- queries
+    def _query_pivot_distances(self, query) -> list[np.ndarray]:
+        """Distances from the query to every pivot, grouped like the table."""
+        return [
+            self.executor.distances(self.metric, query, pivots, label="ept-query-pivots")
+            for pivots in self._group_pivots
+        ]
+
+    def _lower_bounds(self, live: np.ndarray, query_dists: list[np.ndarray]) -> np.ndarray:
+        bounds = np.zeros(len(live), dtype=np.float64)
+        for g, dq in enumerate(query_dists):
+            sel = self._selected[live, g]
+            lb = np.abs(self._selected_dist[live, g] - dq[sel])
+            bounds = np.maximum(bounds, lb)
+        return bounds
+
+    def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries),))
+        live = self.live_ids()
+        out = []
+        for query, radius in zip(queries, radii_arr):
+            radius = float(radius)
+            query_dists = self._query_pivot_distances(query)
+            bounds = self._lower_bounds(live, query_dists)
+            hits: list[tuple[int, float]] = []
+            for obj_id in live[bounds <= radius]:
+                dist = self.executor.distance(self.metric, query, self._objects[int(obj_id)])
+                if dist <= radius:
+                    hits.append((int(obj_id), float(dist)))
+            out.append(sorted(hits, key=lambda p: (p[1], p[0])))
+        return out
+
+    def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
+        live = self.live_ids()
+        out = []
+        for query, kk in zip(queries, k_arr):
+            kk = int(kk)
+            query_dists = self._query_pivot_distances(query)
+            bounds = self._lower_bounds(live, query_dists)
+            order = np.argsort(bounds, kind="stable")
+            pool: list[tuple[float, int]] = []
+            bound = np.inf
+            for idx in order:
+                if bounds[idx] >= bound and len(pool) >= kk:
+                    break
+                obj_id = int(live[idx])
+                dist = float(self.executor.distance(self.metric, query, self._objects[obj_id]))
+                pool.append((dist, obj_id))
+                pool.sort()
+                if len(pool) > kk:
+                    pool = pool[:kk]
+                if len(pool) == kk:
+                    bound = pool[-1][0]
+            out.append([(obj_id, dist) for dist, obj_id in pool])
+        return out
+
+    # --------------------------------------------------------------- updates
+    def insert(self, obj) -> int:
+        """Compute the new object's extreme pivot per group and append its row."""
+        self._require_built()
+        obj_id = len(self._objects)
+        self._objects.append(obj)
+        groups = len(self._group_pivots)
+        selected_row = np.zeros((1, groups), dtype=np.int64)
+        dist_row = np.full((1, groups), np.inf, dtype=np.float64)
+        for g, pivots in enumerate(self._group_pivots):
+            dists = self.executor.distances(self.metric, obj, pivots, label="ept-insert")
+            chosen = int(np.argmax(np.abs(dists - float(np.mean(dists)))))
+            selected_row[0, g] = chosen
+            dist_row[0, g] = dists[chosen]
+        self._selected = np.vstack([self._selected, selected_row])
+        self._selected_dist = np.vstack([self._selected_dist, dist_row])
+        return obj_id
+
+    def delete(self, obj_id: int) -> None:
+        """Lazy deletion: hide the object from answers, keep its table row."""
+        self._require_built()
+        obj_id = int(obj_id)
+        if obj_id < 0 or obj_id >= len(self._objects) or self._objects[obj_id] is None:
+            raise BaselineError(f"{self.name}: unknown object id {obj_id}")
+        self._objects[obj_id] = None
+        self.executor.execute(1.0, label="delete")

@@ -1,0 +1,272 @@
+"""GNAT — Geometric Near-neighbor Access Tree (Brin), a CPU hybrid baseline.
+
+GNAT is the hybrid method the paper's related work (Section 2) describes as
+"storing the distance table of the minimum bounding box in tree nodes" (and
+whose dynamic variant, EGNAT, is one of the paper's CPU competitors).  Every
+internal node
+
+* picks ``fanout`` *split points* with a farthest-first traversal,
+* assigns each remaining object to its closest split point, and
+* stores, for every pair ``(i, j)`` of split points, the ``[min, max]`` range
+  of distances from split point ``i`` to the objects of group ``j``.
+
+At query time the split-point distances are computed one at a time; each one
+discards every group whose stored range cannot intersect the query ball,
+usually eliminating most children before their own distances are ever
+computed.  Answers are exact; execution is sequential on the simulated CPU
+executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import BaselineError
+from .base import CPUSimilarityIndex
+
+__all__ = ["GNAT"]
+
+
+@dataclass
+class _GNATNode:
+    """One node of the GNAT."""
+
+    #: leaf payload: object ids stored directly in this node
+    object_ids: list[int] = field(default_factory=list)
+    #: split-point object ids (empty for leaves)
+    split_ids: list[int] = field(default_factory=list)
+    #: the split-point objects themselves (pruning survives deletions)
+    split_objs: list = field(default_factory=list)
+    #: ``ranges[i][j] = (lo, hi)`` distance range from split i to group j
+    ranges: list[list[tuple[float, float]]] = field(default_factory=list)
+    children: list["_GNATNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class GNAT(CPUSimilarityIndex):
+    """Exact CPU Geometric Near-neighbor Access Tree."""
+
+    name = "GNAT"
+
+    def __init__(self, metric, cpu_spec=None, fanout: int = 8, leaf_size: int = 16, seed: int = 59):
+        super().__init__(metric, cpu_spec)
+        if fanout < 2:
+            raise BaselineError("GNAT fanout must be at least 2")
+        if leaf_size < 1:
+            raise BaselineError("GNAT leaf size must be at least 1")
+        self.fanout = int(fanout)
+        self.leaf_size = int(leaf_size)
+        self._rng = np.random.default_rng(seed)
+        self._root: Optional[_GNATNode] = None
+        self._node_count = 0
+        self._range_entries = 0
+
+    # ---------------------------------------------------------------- build
+    def _build_impl(self) -> None:
+        self._node_count = 0
+        self._range_entries = 0
+        self._root = self._build_node(self.live_ids().tolist())
+
+    def _build_node(self, ids: list[int]) -> _GNATNode:
+        self._node_count += 1
+        if len(ids) <= max(self.leaf_size, self.fanout):
+            return _GNATNode(object_ids=list(ids))
+        split_ids = self._select_splits(ids, min(self.fanout, len(ids)))
+        split_objs = [self._objects[i] for i in split_ids]
+        remaining = [i for i in ids if i not in set(split_ids)]
+        groups: list[list[int]] = [[] for _ in split_ids]
+        group_dists: list[list[list[float]]] = [
+            [[] for _ in split_ids] for _ in split_ids
+        ]  # [split i][group j] -> distances
+        for obj_id in remaining:
+            dists = self.executor.distances(
+                self.metric, self._objects[obj_id], split_objs, label="gnat-build"
+            )
+            best = int(np.argmin(dists))
+            groups[best].append(obj_id)
+            for i in range(len(split_ids)):
+                group_dists[i][best].append(float(dists[i]))
+        if all(len(g) == len(remaining) for g in groups if g):
+            # every object fell into a single group (e.g. all duplicates):
+            # stop splitting to avoid unbounded recursion
+            return _GNATNode(object_ids=list(ids))
+        node = _GNATNode(split_ids=list(split_ids), split_objs=list(split_objs))
+        for j, group in enumerate(groups):
+            ranges_j = []
+            for i in range(len(split_ids)):
+                dists_ij = group_dists[i][j]
+                if dists_ij:
+                    ranges_j.append((float(min(dists_ij)), float(max(dists_ij))))
+                else:
+                    ranges_j.append((np.inf, -np.inf))  # empty group: never intersects
+            node.children.append(self._build_node(group) if group else _GNATNode())
+            for i in range(len(split_ids)):
+                if len(node.ranges) <= i:
+                    node.ranges.append([])
+                node.ranges[i].append(ranges_j[i])
+                self._range_entries += 1
+        return node
+
+    def _select_splits(self, ids: list[int], m: int) -> list[int]:
+        """Farthest-first traversal over the node's objects."""
+        first = ids[int(self._rng.integers(0, len(ids)))]
+        splits = [first]
+        min_dist = self.executor.distances(
+            self.metric, self._objects[first], [self._objects[i] for i in ids], label="gnat-splits"
+        )
+        while len(splits) < m:
+            candidate = ids[int(np.argmax(min_dist))]
+            if candidate in splits:
+                break
+            splits.append(candidate)
+            dists = self.executor.distances(
+                self.metric, self._objects[candidate], [self._objects[i] for i in ids],
+                label="gnat-splits",
+            )
+            min_dist = np.minimum(min_dist, dists)
+        return splits
+
+    @property
+    def storage_bytes(self) -> int:
+        return int(self._node_count * 16 + self._range_entries * 16 + self.num_objects * 8)
+
+    # --------------------------------------------------------------- queries
+    def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries),))
+        out = []
+        for query, radius in zip(queries, radii_arr):
+            hits: list[tuple[int, float]] = []
+            self._range_rec(self._root, query, float(radius), hits)
+            out.append(sorted(hits, key=lambda p: (p[1], p[0])))
+        return out
+
+    def _verify(self, obj_id: int, query, radius: float, hits: list) -> None:
+        if self._objects[obj_id] is None:
+            return
+        dist = float(self.executor.distance(self.metric, query, self._objects[obj_id], label="gnat-query"))
+        if dist <= radius:
+            hits.append((int(obj_id), dist))
+
+    def _range_rec(self, node: _GNATNode, query, radius: float, hits: list) -> None:
+        if node.is_leaf:
+            for obj_id in node.object_ids:
+                self._verify(obj_id, query, radius, hits)
+            return
+        alive = [True] * len(node.children)
+        # every split point is a real object stored only here, so its distance
+        # is always computed (it doubles as the group filter)
+        for i, (split_id, split_obj) in enumerate(zip(node.split_ids, node.split_objs)):
+            di = float(self.executor.distance(self.metric, query, split_obj, label="gnat-query"))
+            if di <= radius and self._objects[split_id] is not None:
+                hits.append((int(split_id), di))
+            for j in range(len(node.children)):
+                if not alive[j]:
+                    continue
+                lo, hi = node.ranges[i][j]
+                if di + radius < lo or di - radius > hi:
+                    alive[j] = False
+        for j, child in enumerate(node.children):
+            if alive[j] and child is not None:
+                self._range_rec(child, query, radius, hits)
+
+    def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
+        out = []
+        for query, kk in zip(queries, k_arr):
+            pool: dict[int, float] = {}
+            self._knn_rec(self._root, query, int(kk), pool)
+            ranked = sorted(pool.items(), key=lambda p: (p[1], p[0]))[: int(kk)]
+            out.append([(int(i), float(d)) for i, d in ranked])
+        return out
+
+    def _knn_bound(self, pool: dict, k: int) -> float:
+        if len(pool) < k:
+            return np.inf
+        return sorted(pool.values())[k - 1]
+
+    def _knn_offer(self, pool: dict, obj_id: int, dist: float) -> None:
+        prev = pool.get(obj_id)
+        if prev is None or dist < prev:
+            pool[obj_id] = dist
+
+    def _knn_rec(self, node: _GNATNode, query, k: int, pool: dict) -> None:
+        if node.is_leaf:
+            for obj_id in node.object_ids:
+                if self._objects[obj_id] is None:
+                    continue
+                dist = float(self.executor.distance(self.metric, query, self._objects[obj_id], label="gnat-query"))
+                self._knn_offer(pool, int(obj_id), dist)
+            return
+        alive = [True] * len(node.children)
+        split_dists = []
+        for i, (split_id, split_obj) in enumerate(zip(node.split_ids, node.split_objs)):
+            di = float(self.executor.distance(self.metric, query, split_obj, label="gnat-query"))
+            split_dists.append(di)
+            if self._objects[split_id] is not None:
+                self._knn_offer(pool, int(split_id), di)
+            bound = self._knn_bound(pool, k)
+            for j in range(len(node.children)):
+                if not alive[j]:
+                    continue
+                lo, hi = node.ranges[i][j]
+                if di + bound < lo or di - bound > hi:
+                    alive[j] = False
+        # visit the surviving children closest-first to tighten the bound early
+        order = sorted(
+            (j for j in range(len(node.children)) if alive[j]),
+            key=lambda j: max(
+                max(0.0, node.ranges[i][j][0] - split_dists[i], split_dists[i] - node.ranges[i][j][1])
+                for i in range(len(node.split_ids))
+            ),
+        )
+        for j in order:
+            bound = self._knn_bound(pool, k)
+            prunable = any(
+                split_dists[i] + bound < node.ranges[i][j][0]
+                or split_dists[i] - bound > node.ranges[i][j][1]
+                for i in range(len(node.split_ids))
+            )
+            if not prunable:
+                self._knn_rec(node.children[j], query, k, pool)
+
+    # --------------------------------------------------------------- updates
+    def insert(self, obj) -> int:
+        """Descend to the nearest split-point group, widening ranges on the way."""
+        self._require_built()
+        obj_id = len(self._objects)
+        self._objects.append(obj)
+        node = self._root
+        while not node.is_leaf:
+            dists = self.executor.distances(self.metric, obj, node.split_objs, label="gnat-insert")
+            best = int(np.argmin(dists))
+            for i in range(len(node.split_ids)):
+                lo, hi = node.ranges[i][best]
+                node.ranges[i][best] = (min(lo, float(dists[i])), max(hi, float(dists[i])))
+            node = node.children[best]
+        node.object_ids.append(obj_id)
+        if len(node.object_ids) > 4 * max(self.leaf_size, self.fanout):
+            live = [i for i in node.object_ids if self._objects[i] is not None]
+            rebuilt = self._build_node(live)
+            node.object_ids = rebuilt.object_ids
+            node.split_ids = rebuilt.split_ids
+            node.split_objs = rebuilt.split_objs
+            node.ranges = rebuilt.ranges
+            node.children = rebuilt.children
+        return obj_id
+
+    def delete(self, obj_id: int) -> None:
+        """Lazy deletion: hide the object; split geometry is unchanged."""
+        self._require_built()
+        obj_id = int(obj_id)
+        if obj_id < 0 or obj_id >= len(self._objects) or self._objects[obj_id] is None:
+            raise BaselineError(f"{self.name}: unknown object id {obj_id}")
+        self._objects[obj_id] = None
+        self.executor.execute(1.0, label="delete")

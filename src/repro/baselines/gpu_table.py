@@ -1,0 +1,121 @@
+"""GPU-Table — the distance-table GPU baseline of the paper's evaluation.
+
+The paper's "GPU-Table" competitor "computes the distances between the query
+and all the objects to answer MRQ and leverages the Dr.Top-k algorithm [23]
+to answer MkNNQ" (Section 6.1).  It is the archetypal table-based GPU method:
+maximum parallelism, zero pruning.
+
+* **Build** — nothing but copying the objects to the device; there is no
+  index (Table 4 reports no construction cost for it).
+* **MRQ** — one kernel fills a ``|Q| × n`` distance table, a second filters
+  it against the radii.
+* **MkNNQ** — the same distance table followed by a Dr.Top-k style parallel
+  selection per query.
+
+The full distance table is allocated on the device, so large batches over
+large datasets exhaust memory — one of the weaknesses GTS's two-stage search
+is designed to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import MemoryDeadlockError
+from ..gpusim.kernels import distance_matrix_kernel, topk_kernel
+from .base import GPUSimilarityIndex
+
+__all__ = ["GPUTable"]
+
+
+class GPUTable(GPUSimilarityIndex):
+    """Brute-force GPU distance-table method (exact, no pruning)."""
+
+    name = "GPU-Table"
+
+    def _build_impl(self) -> None:
+        from ..core.construction import objects_nbytes
+
+        alloc = getattr(self, "_data_alloc", None)
+        if alloc is not None:
+            self.device.free(alloc)
+        live = self.live_ids()
+        self._live = live
+        nbytes = objects_nbytes(self._objects, live)
+        self.device.transfer_to_device(nbytes)
+        self._data_alloc = self.device.allocate(nbytes, "gpu-table-objects")
+
+    @property
+    def storage_bytes(self) -> int:
+        # no index structure beyond the id list
+        return int(self._live.nbytes)
+
+    def _distance_table(self, queries: Sequence) -> tuple[np.ndarray, np.ndarray]:
+        """Allocate and fill the |Q| x n distance table on the device."""
+        live = self._live
+        objs = [self._objects[int(i)] for i in live]
+        table_bytes = len(queries) * len(live) * 8
+        try:
+            alloc = self.device.allocate(table_bytes, "gpu-table-distances")
+        except Exception as exc:
+            raise MemoryDeadlockError(
+                f"GPU-Table cannot allocate a {len(queries)}x{len(live)} distance table: {exc}"
+            ) from exc
+        table = distance_matrix_kernel(self.device, self.metric, list(queries), objs)
+        return table, alloc
+
+    def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries),))
+        table, alloc = self._distance_table(queries)
+        # filtering kernel over every cell of the table
+        self.device.launch_kernel(work_items=table.size, op_cost=1.0, label="gpu-table-filter")
+        out = []
+        for qi in range(len(queries)):
+            hit = table[qi] <= radii_arr[qi]
+            ids = self._live[hit]
+            dists = table[qi][hit]
+            order = np.lexsort((ids, dists))
+            out.append([(int(ids[i]), float(dists[i])) for i in order])
+            self.device.transfer_to_host(int(hit.sum()) * 16)
+        self.device.free(alloc)
+        return out
+
+    def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
+        table, alloc = self._distance_table(queries)
+        out = []
+        for qi in range(len(queries)):
+            kk = int(k_arr[qi])
+            idx = topk_kernel(self.device, table[qi], kk, label="dr-topk")
+            ids = self._live[idx]
+            dists = table[qi][idx]
+            order = np.lexsort((ids, dists))
+            out.append([(int(ids[i]), float(dists[i])) for i in order])
+            self.device.transfer_to_host(kk * 16)
+        self.device.free(alloc)
+        return out
+
+    def insert(self, obj) -> int:
+        """Insertion just appends to the device-resident object table."""
+        self._require_built()
+        obj_id = len(self._objects)
+        self._objects.append(obj)
+        self.device.free(self._data_alloc)
+        self._build_impl()
+        return obj_id
+
+    def delete(self, obj_id: int) -> None:
+        """Deletion removes the object from the device-resident table."""
+        self._require_built()
+        obj_id = int(obj_id)
+        if obj_id < 0 or obj_id >= len(self._objects) or self._objects[obj_id] is None:
+            from ..exceptions import BaselineError
+
+            raise BaselineError(f"{self.name}: unknown object id {obj_id}")
+        self._objects[obj_id] = None
+        self.device.free(self._data_alloc)
+        self._build_impl()

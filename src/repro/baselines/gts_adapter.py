@@ -1,0 +1,86 @@
+"""Adapter exposing :class:`repro.core.gts.GTS` through the baseline interface.
+
+The evaluation runner drives every method through
+:class:`~repro.baselines.base.SimilarityIndex`; this thin adapter lets GTS be
+registered alongside the baselines without duplicating any logic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.gts import GTS
+from ..gpusim.device import Device
+from ..gpusim.stats import ExecutionStats
+from ..metrics.base import Metric
+from .base import GPUSimilarityIndex
+
+__all__ = ["GTSIndex"]
+
+
+class GTSIndex(GPUSimilarityIndex):
+    """GTS wrapped in the common similarity-index interface."""
+
+    name = "GTS"
+
+    def __init__(
+        self,
+        metric: Metric,
+        device: Optional[Device] = None,
+        node_capacity: int = 20,
+        cache_capacity_bytes: int = 5 * 1024,
+        pivot_strategy: str = "fft",
+        prune_mode: str = "two-sided",
+        seed: int = 17,
+    ):
+        super().__init__(metric, device)
+        self._gts = GTS(
+            metric=metric,
+            node_capacity=node_capacity,
+            device=self.device,
+            cache_capacity_bytes=cache_capacity_bytes,
+            pivot_strategy=pivot_strategy,
+            prune_mode=prune_mode,
+            seed=seed,
+        )
+
+    @property
+    def gts(self) -> GTS:
+        """The wrapped GTS instance (for inspection in tests and benches)."""
+        return self._gts
+
+    def _build_impl(self) -> None:
+        self._gts.bulk_load([o for o in self._objects if o is not None])
+
+    @property
+    def sim_stats(self) -> ExecutionStats:
+        return self.device.stats
+
+    @property
+    def storage_bytes(self) -> int:
+        return self._gts.storage_bytes
+
+    def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        return self._gts.range_query_batch(queries, radii)
+
+    def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        return self._gts.knn_query_batch(queries, k)
+
+    def insert(self, obj) -> int:
+        self._require_built()
+        self._objects.append(obj)
+        return self._gts.insert(obj)
+
+    def delete(self, obj_id: int) -> None:
+        self._require_built()
+        self._gts.delete(obj_id)
+        if 0 <= int(obj_id) < len(self._objects):
+            self._objects[int(obj_id)] = None
+
+    def batch_update(self, inserts: Sequence = (), deletes: Sequence[int] = ()) -> None:
+        self._require_built()
+        for obj in inserts:
+            self._objects.append(obj)
+        self._gts.batch_update(inserts=inserts, deletes=deletes)

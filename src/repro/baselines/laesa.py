@@ -1,0 +1,164 @@
+"""LAESA — Linear AESA (Micó, Oncina & Vidal), a CPU table-based baseline.
+
+LAESA is the canonical *table-based* metric index the paper's related-work
+section contrasts with tree-based methods (Section 2): a fixed set of ``m``
+pivots is chosen up front and the full ``n x m`` object-to-pivot distance
+table is pre-computed.  At query time only the ``m`` query-to-pivot distances
+are computed eagerly; every object is then screened with the triangle-
+inequality lower bound
+
+``lb(o) = max_j |d(o, p_j) - d(q, p_j)|``
+
+and only the survivors pay a real distance computation.  Answers are exact.
+
+Like the other CPU baselines it is sequential: the simulated
+:class:`~repro.gpusim.cpu.CPUExecutor` charges one unit of work per distance,
+which is what the evaluation harness measures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import BaselineError
+from .base import CPUSimilarityIndex
+
+__all__ = ["LAESA"]
+
+
+class LAESA(CPUSimilarityIndex):
+    """Exact CPU pivot-table index (Linear AESA)."""
+
+    name = "LAESA"
+
+    def __init__(self, metric, cpu_spec=None, num_pivots: int = 16, seed: int = 41):
+        super().__init__(metric, cpu_spec)
+        if num_pivots < 1:
+            raise BaselineError("LAESA needs at least one pivot")
+        self.num_pivots = int(num_pivots)
+        self._rng = np.random.default_rng(seed)
+        #: ids of the chosen pivots (a subset of the object ids)
+        self._pivot_ids: list[int] = []
+        #: the pivot objects themselves, kept so pruning survives pivot deletion
+        self._pivot_objs: list = []
+        #: dense ``n x m`` table of object-to-pivot distances, row per object id
+        self._table: np.ndarray = np.zeros((0, 0), dtype=np.float64)
+
+    # ---------------------------------------------------------------- build
+    def _build_impl(self) -> None:
+        live = self.live_ids().tolist()
+        m = min(self.num_pivots, len(live))
+        self._pivot_ids = self._select_pivots(live, m)
+        self._pivot_objs = [self._objects[i] for i in self._pivot_ids]
+        self._table = np.full((len(self._objects), len(self._pivot_ids)), np.inf, dtype=np.float64)
+        for j, pivot_obj in enumerate(self._pivot_objs):
+            dists = self.executor.distances(
+                self.metric,
+                pivot_obj,
+                [self._objects[i] for i in live],
+                label="laesa-table",
+            )
+            self._table[live, j] = dists
+
+    def _select_pivots(self, live: list[int], m: int) -> list[int]:
+        """Maximally-separated pivots: the farthest-first traversal LAESA uses."""
+        first = live[int(self._rng.integers(0, len(live)))]
+        pivots = [first]
+        min_dist = self.executor.distances(
+            self.metric, self._objects[first], [self._objects[i] for i in live], label="laesa-pivots"
+        )
+        while len(pivots) < m:
+            next_idx = int(np.argmax(min_dist))
+            candidate = live[next_idx]
+            if candidate in pivots:
+                break
+            pivots.append(candidate)
+            dists = self.executor.distances(
+                self.metric,
+                self._objects[candidate],
+                [self._objects[i] for i in live],
+                label="laesa-pivots",
+            )
+            min_dist = np.minimum(min_dist, dists)
+        return pivots
+
+    @property
+    def storage_bytes(self) -> int:
+        return int(self._table.size * 8 + len(self._pivot_ids) * 8)
+
+    # --------------------------------------------------------------- queries
+    def _query_pivot_distances(self, query) -> np.ndarray:
+        return self.executor.distances(
+            self.metric, query, self._pivot_objs, label="laesa-query-pivots"
+        )
+
+    def _lower_bounds(self, live: np.ndarray, query_pivot_dists: np.ndarray) -> np.ndarray:
+        rows = self._table[live, : len(self._pivot_ids)]
+        return np.max(np.abs(rows - query_pivot_dists[None, :]), axis=1)
+
+    def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries),))
+        live = self.live_ids()
+        out = []
+        for query, radius in zip(queries, radii_arr):
+            radius = float(radius)
+            dq = self._query_pivot_distances(query)
+            bounds = self._lower_bounds(live, dq)
+            hits: list[tuple[int, float]] = []
+            candidates = live[bounds <= radius]
+            for obj_id in candidates:
+                dist = self.executor.distance(self.metric, query, self._objects[int(obj_id)])
+                if dist <= radius:
+                    hits.append((int(obj_id), float(dist)))
+            out.append(sorted(hits, key=lambda p: (p[1], p[0])))
+        return out
+
+    def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
+        live = self.live_ids()
+        out = []
+        for query, kk in zip(queries, k_arr):
+            kk = int(kk)
+            dq = self._query_pivot_distances(query)
+            bounds = self._lower_bounds(live, dq)
+            order = np.argsort(bounds, kind="stable")
+            pool: list[tuple[float, int]] = []
+            bound = np.inf
+            for idx in order:
+                if bounds[idx] >= bound and len(pool) >= kk:
+                    break  # lower bounds are sorted: nothing later can improve
+                obj_id = int(live[idx])
+                dist = float(self.executor.distance(self.metric, query, self._objects[obj_id]))
+                pool.append((dist, obj_id))
+                pool.sort()
+                if len(pool) > kk:
+                    pool = pool[:kk]
+                if len(pool) == kk:
+                    bound = pool[-1][0]
+            out.append([(obj_id, dist) for dist, obj_id in pool])
+        return out
+
+    # --------------------------------------------------------------- updates
+    def insert(self, obj) -> int:
+        """Append one row to the distance table (``m`` distance computations)."""
+        self._require_built()
+        obj_id = len(self._objects)
+        self._objects.append(obj)
+        row = self.executor.distances(self.metric, obj, self._pivot_objs, label="laesa-insert")
+        self._table = np.vstack([self._table, row[None, :]])
+        return obj_id
+
+    def delete(self, obj_id: int) -> None:
+        """Lazy deletion: the table row stays, the object is hidden from answers."""
+        self._require_built()
+        obj_id = int(obj_id)
+        if obj_id < 0 or obj_id >= len(self._objects) or self._objects[obj_id] is None:
+            raise BaselineError(f"{self.name}: unknown object id {obj_id}")
+        # a deleted pivot keeps filtering (its distances stay valid via
+        # ``_pivot_objs``) but no longer appears in answers
+        self._objects[obj_id] = None
+        self.executor.execute(1.0, label="delete")

@@ -1,0 +1,79 @@
+"""Sequential linear scan — the correctness oracle and the trivial CPU baseline.
+
+Not one of the paper's named competitors, but indispensable for the test
+suite: every other method's answers are checked against this one.  It also
+serves as the "no index" reference point in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import CPUSimilarityIndex
+
+__all__ = ["LinearScan"]
+
+
+class LinearScan(CPUSimilarityIndex):
+    """Exact brute-force scan over all live objects."""
+
+    name = "LinearScan"
+
+    def _build_impl(self) -> None:
+        # Nothing to build: the "index" is the raw object list.
+        self._live = self.live_ids()
+
+    @property
+    def storage_bytes(self) -> int:
+        return int(self._live.nbytes)
+
+    def _scan(self, query) -> tuple[np.ndarray, np.ndarray]:
+        ids = self._live
+        objs = [self._objects[int(i)] for i in ids]
+        dists = self.executor.distances(self.metric, query, objs, label="scan")
+        return ids, dists
+
+    def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries),))
+        out = []
+        for query, radius in zip(queries, radii_arr):
+            ids, dists = self._scan(query)
+            hit = dists <= radius
+            pairs = sorted(
+                zip(ids[hit].tolist(), dists[hit].tolist()), key=lambda p: (p[1], p[0])
+            )
+            out.append([(int(i), float(d)) for i, d in pairs])
+        return out
+
+    def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
+        out = []
+        for query, kk in zip(queries, k_arr):
+            ids, dists = self._scan(query)
+            order = np.lexsort((ids, dists))[: int(kk)]
+            out.append([(int(ids[i]), float(dists[i])) for i in order])
+        return out
+
+    def insert(self, obj) -> int:
+        self._require_built()
+        obj_id = len(self._objects)
+        self._objects.append(obj)
+        self._live = self.live_ids()
+        self.executor.execute(1.0, label="insert")
+        return obj_id
+
+    def delete(self, obj_id: int) -> None:
+        self._require_built()
+        super_objects = self._objects
+        obj_id = int(obj_id)
+        if obj_id < 0 or obj_id >= len(super_objects) or super_objects[obj_id] is None:
+            from ..exceptions import BaselineError
+
+            raise BaselineError(f"{self.name}: unknown object id {obj_id}")
+        super_objects[obj_id] = None
+        self._live = self.live_ids()
+        self.executor.execute(1.0, label="delete")

@@ -1,0 +1,203 @@
+"""List of Clusters (Chávez & Navarro), a CPU table/cluster-based baseline.
+
+The List of Clusters is the compact clustering structure cited in the paper's
+related work (Section 2) as a prominent table-based CPU method.  The dataset
+is decomposed into an ordered list of fixed-size clusters; each cluster keeps
+
+* a *center* object,
+* the distances from the center to its bucket members, and
+* the *covering radius* ``cr`` (the largest of those distances).
+
+Construction removes the ``bucket_size`` objects closest to each new center,
+so every object left for later clusters lies strictly outside the current
+cluster ball.  That ordering gives the structure its signature early-stop
+rule: if the query ball is fully contained in a cluster ball
+(``d(q, c) + r <= cr``), no later cluster can contain an answer and the scan
+stops.  All answers are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import BaselineError
+from .base import CPUSimilarityIndex
+
+__all__ = ["ListOfClusters"]
+
+
+@dataclass
+class _Cluster:
+    """One fixed-size cluster of the list."""
+
+    center_id: int
+    #: the center object itself, kept so pruning survives center deletion
+    center_obj: object
+    member_ids: list[int]
+    member_dists: list[float]
+    covering_radius: float
+
+
+class ListOfClusters(CPUSimilarityIndex):
+    """Exact CPU List-of-Clusters index."""
+
+    name = "LC"
+
+    def __init__(self, metric, cpu_spec=None, bucket_size: int = 16, seed: int = 43):
+        super().__init__(metric, cpu_spec)
+        if bucket_size < 1:
+            raise BaselineError("List of Clusters bucket size must be at least 1")
+        self.bucket_size = int(bucket_size)
+        self._rng = np.random.default_rng(seed)
+        self._clusters: list[_Cluster] = []
+
+    # ---------------------------------------------------------------- build
+    def _build_impl(self) -> None:
+        self._clusters = []
+        remaining = self.live_ids().tolist()
+        previous_center = None
+        while remaining:
+            center_id = self._next_center(remaining, previous_center)
+            remaining.remove(center_id)
+            if remaining:
+                dists = self.executor.distances(
+                    self.metric,
+                    self._objects[center_id],
+                    [self._objects[i] for i in remaining],
+                    label="lc-build",
+                )
+                order = np.argsort(dists, kind="stable")
+                take = order[: self.bucket_size]
+                member_ids = [remaining[i] for i in take]
+                member_dists = [float(dists[i]) for i in take]
+                remaining = [remaining[i] for i in order[self.bucket_size:]]
+            else:
+                member_ids, member_dists = [], []
+            covering = max(member_dists) if member_dists else 0.0
+            self._clusters.append(
+                _Cluster(
+                    center_id=int(center_id),
+                    center_obj=self._objects[center_id],
+                    member_ids=member_ids,
+                    member_dists=member_dists,
+                    covering_radius=covering,
+                )
+            )
+            previous_center = center_id
+
+    def _next_center(self, remaining: list[int], previous_center) -> int:
+        """Pick the next center: random first, then farthest from the previous one."""
+        if previous_center is None or len(remaining) == 1:
+            return int(remaining[int(self._rng.integers(0, len(remaining)))])
+        dists = self.executor.distances(
+            self.metric,
+            self._objects[previous_center],
+            [self._objects[i] for i in remaining],
+            label="lc-center",
+        )
+        return int(remaining[int(np.argmax(dists))])
+
+    @property
+    def storage_bytes(self) -> int:
+        members = sum(len(c.member_ids) for c in self._clusters)
+        return int(len(self._clusters) * (8 + 8 + 8) + members * (8 + 8))
+
+    # --------------------------------------------------------------- queries
+    def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries),))
+        out = []
+        for query, radius in zip(queries, radii_arr):
+            out.append(self._range_one(query, float(radius)))
+        return out
+
+    def _range_one(self, query, radius: float) -> list[tuple[int, float]]:
+        hits: list[tuple[int, float]] = []
+        for cluster in self._clusters:
+            dc = float(self.executor.distance(self.metric, query, cluster.center_obj))
+            if dc <= radius and self._objects[cluster.center_id] is not None:
+                hits.append((cluster.center_id, dc))
+            if dc <= cluster.covering_radius + radius:
+                self._scan_bucket_range(cluster, query, dc, radius, hits)
+            if dc + radius < cluster.covering_radius:
+                break  # the query ball lies strictly inside this cluster ball: stop
+        return sorted(hits, key=lambda p: (p[1], p[0]))
+
+    def _scan_bucket_range(self, cluster: _Cluster, query, dc: float, radius: float, hits: list) -> None:
+        for obj_id, dco in zip(cluster.member_ids, cluster.member_dists):
+            if self._objects[obj_id] is None:
+                continue
+            if abs(dc - dco) > radius:
+                continue  # triangle-inequality screen using the stored distance
+            dist = float(self.executor.distance(self.metric, query, self._objects[obj_id]))
+            if dist <= radius:
+                hits.append((int(obj_id), dist))
+
+    def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
+        out = []
+        for query, kk in zip(queries, k_arr):
+            out.append(self._knn_one(query, int(kk)))
+        return out
+
+    def _knn_one(self, query, k: int) -> list[tuple[int, float]]:
+        pool: list[tuple[float, int]] = []
+
+        def bound() -> float:
+            return pool[-1][0] if len(pool) >= k else np.inf
+
+        def offer(obj_id: int, dist: float) -> None:
+            pool.append((dist, obj_id))
+            pool.sort()
+            del pool[k:]
+
+        for cluster in self._clusters:
+            dc = float(self.executor.distance(self.metric, query, cluster.center_obj))
+            if self._objects[cluster.center_id] is not None and (dc < bound() or len(pool) < k):
+                offer(cluster.center_id, dc)
+            if dc <= cluster.covering_radius + bound():
+                for obj_id, dco in zip(cluster.member_ids, cluster.member_dists):
+                    if self._objects[obj_id] is None:
+                        continue
+                    if abs(dc - dco) >= bound() and len(pool) >= k:
+                        continue
+                    dist = float(self.executor.distance(self.metric, query, self._objects[obj_id]))
+                    if dist < bound() or len(pool) < k:
+                        offer(int(obj_id), dist)
+            if len(pool) >= k and dc + bound() < cluster.covering_radius:
+                break
+        return [(obj_id, dist) for dist, obj_id in pool]
+
+    # --------------------------------------------------------------- updates
+    def insert(self, obj) -> int:
+        """Place the object in the first cluster ball that covers it.
+
+        Falling outside every covering radius appends a new singleton cluster,
+        which is the standard dynamic List-of-Clusters behaviour.
+        """
+        self._require_built()
+        obj_id = len(self._objects)
+        self._objects.append(obj)
+        for cluster in self._clusters:
+            dc = float(self.executor.distance(self.metric, obj, cluster.center_obj))
+            if dc <= cluster.covering_radius:
+                cluster.member_ids.append(obj_id)
+                cluster.member_dists.append(dc)
+                return obj_id
+        self._clusters.append(
+            _Cluster(center_id=obj_id, center_obj=obj, member_ids=[], member_dists=[], covering_radius=0.0)
+        )
+        return obj_id
+
+    def delete(self, obj_id: int) -> None:
+        """Lazy deletion: hide the object; the cluster geometry is unchanged."""
+        self._require_built()
+        obj_id = int(obj_id)
+        if obj_id < 0 or obj_id >= len(self._objects) or self._objects[obj_id] is None:
+            raise BaselineError(f"{self.name}: unknown object id {obj_id}")
+        self._objects[obj_id] = None
+        self.executor.execute(1.0, label="delete")

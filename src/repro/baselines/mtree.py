@@ -1,0 +1,233 @@
+"""M-tree (Ciaccia, Patella & Zezula), a CPU tree-based baseline.
+
+The M-tree is the classic dynamic, balanced metric tree cited in the paper's
+related work (Section 2).  Every internal node holds *routing entries*
+``(routing object, covering radius, distance to parent, child)``; every leaf
+holds *ground entries* ``(object, distance to parent)``.  Both query types
+exploit two pruning rules:
+
+* **covering-radius pruning** — a subtree whose ball ``(routing object,
+  covering radius)`` cannot intersect the query ball is skipped;
+* **parent-distance pruning** — ``|d(q, parent) - d(entry, parent)|`` lower
+  bounds ``d(q, entry)``, so many entries are discarded *without* computing
+  their real distance.
+
+This implementation bulk-loads the tree with a recursive fanout-way
+partitioning (random routing objects, nearest-assignment) and supports the
+M-tree's structural streaming insertion (descend to the subtree whose ball
+needs the least enlargement).  Answers are exact; execution is sequential on
+the simulated CPU executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import BaselineError
+from .base import CPUSimilarityIndex
+
+__all__ = ["MTree"]
+
+
+@dataclass
+class _Entry:
+    """A routing entry (internal) or ground entry (leaf) of the M-tree."""
+
+    obj_id: int
+    obj: object
+    dist_to_parent: float = 0.0
+    covering_radius: float = 0.0
+    child: Optional["_MNode"] = None
+
+
+@dataclass
+class _MNode:
+    """One node of the M-tree."""
+
+    is_leaf: bool
+    entries: list[_Entry] = field(default_factory=list)
+
+
+class MTree(CPUSimilarityIndex):
+    """Exact CPU M-tree."""
+
+    name = "M-tree"
+
+    def __init__(self, metric, cpu_spec=None, fanout: int = 8, leaf_size: int = 16, seed: int = 53):
+        super().__init__(metric, cpu_spec)
+        if fanout < 2:
+            raise BaselineError("M-tree fanout must be at least 2")
+        if leaf_size < 1:
+            raise BaselineError("M-tree leaf size must be at least 1")
+        self.fanout = int(fanout)
+        self.leaf_size = int(leaf_size)
+        self._rng = np.random.default_rng(seed)
+        self._root: Optional[_MNode] = None
+        self._node_count = 0
+
+    # ---------------------------------------------------------------- build
+    def _build_impl(self) -> None:
+        self._node_count = 0
+        ids = self.live_ids().tolist()
+        self._root = self._bulk_load(ids, parent_obj=None)
+
+    def _bulk_load(self, ids: list[int], parent_obj) -> _MNode:
+        """Recursive bulk-loading: random routing objects, nearest assignment."""
+        self._node_count += 1
+        if len(ids) <= self.leaf_size:
+            node = _MNode(is_leaf=True)
+            for obj_id in ids:
+                dist = self._dist_to_parent(self._objects[obj_id], parent_obj)
+                node.entries.append(_Entry(obj_id=obj_id, obj=self._objects[obj_id], dist_to_parent=dist))
+            return node
+        num_routes = min(self.fanout, len(ids))
+        route_ids = [int(i) for i in self._rng.choice(ids, size=num_routes, replace=False)]
+        # assign every object to its nearest routing object
+        assignment: dict[int, list[tuple[int, float]]] = {rid: [] for rid in route_ids}
+        for obj_id in ids:
+            dists = self.executor.distances(
+                self.metric, self._objects[obj_id], [self._objects[r] for r in route_ids],
+                label="mtree-build",
+            )
+            best = int(np.argmin(dists))
+            assignment[route_ids[best]].append((obj_id, float(dists[best])))
+        node = _MNode(is_leaf=False)
+        for rid in route_ids:
+            members = assignment[rid]
+            if not members:
+                continue
+            member_ids = [obj_id for obj_id, _ in members]
+            covering = max(dist for _, dist in members)
+            # guard against a degenerate split (everything landed on one route)
+            if len(member_ids) == len(ids) and len(route_ids) > 1:
+                child = _MNode(is_leaf=True)
+                for obj_id, dist in members:
+                    child.entries.append(_Entry(obj_id=obj_id, obj=self._objects[obj_id], dist_to_parent=dist))
+                self._node_count += 1
+            else:
+                child = self._bulk_load(member_ids, parent_obj=self._objects[rid])
+            node.entries.append(
+                _Entry(
+                    obj_id=rid,
+                    obj=self._objects[rid],
+                    dist_to_parent=self._dist_to_parent(self._objects[rid], parent_obj),
+                    covering_radius=covering,
+                    child=child,
+                )
+            )
+        return node
+
+    def _dist_to_parent(self, obj, parent_obj) -> float:
+        if parent_obj is None:
+            return 0.0
+        return float(self.executor.distance(self.metric, obj, parent_obj, label="mtree-parent"))
+
+    @property
+    def storage_bytes(self) -> int:
+        return int(self._node_count * 16 + self.num_objects * (8 + 8 + 8))
+
+    # --------------------------------------------------------------- queries
+    def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries),))
+        out = []
+        for query, radius in zip(queries, radii_arr):
+            hits: list[tuple[int, float]] = []
+            self._range_rec(self._root, query, float(radius), None, hits)
+            out.append(sorted(hits, key=lambda p: (p[1], p[0])))
+        return out
+
+    def _range_rec(self, node: _MNode, query, radius: float, dist_to_parent: Optional[float], hits: list) -> None:
+        for entry in node.entries:
+            if dist_to_parent is not None and abs(dist_to_parent - entry.dist_to_parent) > radius + entry.covering_radius:
+                continue  # parent-distance pruning, no distance computation
+            dist = float(self.executor.distance(self.metric, query, entry.obj, label="mtree-query"))
+            if node.is_leaf:
+                if dist <= radius and self._objects[entry.obj_id] is not None:
+                    hits.append((entry.obj_id, dist))
+            # routing objects also live in a leaf below, so they are only
+            # reported there (otherwise they would be reported twice)
+            elif dist <= radius + entry.covering_radius:
+                self._range_rec(entry.child, query, radius, dist, hits)
+
+    def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
+        out = []
+        for query, kk in zip(queries, k_arr):
+            pool: dict[int, float] = {}
+            self._knn_rec(self._root, query, int(kk), None, pool)
+            ranked = sorted(pool.items(), key=lambda p: (p[1], p[0]))[: int(kk)]
+            out.append([(int(i), float(d)) for i, d in ranked])
+        return out
+
+    def _knn_bound(self, pool: dict, k: int) -> float:
+        if len(pool) < k:
+            return np.inf
+        return sorted(pool.values())[k - 1]
+
+    def _knn_rec(self, node: _MNode, query, k: int, dist_to_parent: Optional[float], pool: dict) -> None:
+        entries = node.entries
+        bound = self._knn_bound(pool, k)
+        # compute the distances lazily, nearest-lower-bound first
+        def parent_lb(entry: _Entry) -> float:
+            if dist_to_parent is None:
+                return 0.0
+            return max(0.0, abs(dist_to_parent - entry.dist_to_parent) - entry.covering_radius)
+
+        for entry in sorted(entries, key=parent_lb):
+            bound = self._knn_bound(pool, k)
+            if parent_lb(entry) > bound:
+                continue
+            dist = float(self.executor.distance(self.metric, query, entry.obj, label="mtree-query"))
+            if self._objects[entry.obj_id] is not None:
+                prev = pool.get(entry.obj_id)
+                if prev is None or dist < prev:
+                    pool[entry.obj_id] = dist
+            if not node.is_leaf:
+                bound = self._knn_bound(pool, k)
+                if dist <= bound + entry.covering_radius:
+                    self._knn_rec(entry.child, query, k, dist, pool)
+
+    # --------------------------------------------------------------- updates
+    def insert(self, obj) -> int:
+        """Structural insertion: descend into the subtree needing least enlargement."""
+        self._require_built()
+        obj_id = len(self._objects)
+        self._objects.append(obj)
+        node = self._root
+        parent_obj = None
+        while not node.is_leaf:
+            best_entry = None
+            best_key = None
+            best_dist = 0.0
+            for entry in node.entries:
+                dist = float(self.executor.distance(self.metric, obj, entry.obj, label="mtree-insert"))
+                enlargement = max(0.0, dist - entry.covering_radius)
+                key = (enlargement, dist)
+                if best_key is None or key < best_key:
+                    best_key, best_entry, best_dist = key, entry, dist
+            best_entry.covering_radius = max(best_entry.covering_radius, best_dist)
+            parent_obj = best_entry.obj
+            node = best_entry.child
+        node.entries.append(
+            _Entry(obj_id=obj_id, obj=obj, dist_to_parent=self._dist_to_parent(obj, parent_obj))
+        )
+        if len(node.entries) > 4 * self.leaf_size:
+            live = [e.obj_id for e in node.entries if self._objects[e.obj_id] is not None]
+            rebuilt = self._bulk_load(live, parent_obj=parent_obj)
+            node.is_leaf = rebuilt.is_leaf
+            node.entries = rebuilt.entries
+        return obj_id
+
+    def delete(self, obj_id: int) -> None:
+        """Lazy deletion: hide the object; routing geometry is unchanged."""
+        self._require_built()
+        obj_id = int(obj_id)
+        if obj_id < 0 or obj_id >= len(self._objects) or self._objects[obj_id] is None:
+            raise BaselineError(f"{self.name}: unknown object id {obj_id}")
+        self._objects[obj_id] = None
+        self.executor.execute(1.0, label="delete")

@@ -1,0 +1,228 @@
+"""MVPT — multi-vantage-point tree (Bozkaya & Özsoyoglu), a CPU baseline.
+
+The paper calls MVPT "the most efficient CPU-based in-memory metric index"
+and models GTS's own node layout on it.  This implementation follows the
+classical design:
+
+* every internal node selects a vantage point (pivot) from its objects;
+* the remaining objects are ordered by their distance to the vantage point
+  and split into ``fanout`` equal-size children; each child remembers the
+  ``[min, max]`` distance range it covers;
+* in addition, every object keeps the distances to its first
+  ``path_length`` ancestor vantage points ("path distances"), which filter
+  candidates at the leaves before any real distance is computed.
+
+Range queries prune a child when the query ball cannot intersect its distance
+range; kNN queries do the same with the running k-th bound.  All answers are
+exact.  Being a CPU method it runs sequentially on the simulated CPU
+executor, one query at a time — the very bottleneck GTS is built to remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import BaselineError
+from .base import CPUSimilarityIndex
+
+__all__ = ["MVPTree"]
+
+
+@dataclass
+class _MVPNode:
+    """One node of the MVP-tree."""
+
+    object_ids: list[int] = field(default_factory=list)
+    vantage_id: Optional[int] = None
+    vantage_obj: object = None
+    child_ranges: list[tuple[float, float]] = field(default_factory=list)
+    children: list["_MVPNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class MVPTree(CPUSimilarityIndex):
+    """Exact CPU multi-vantage-point tree."""
+
+    name = "MVPT"
+
+    def __init__(
+        self,
+        metric,
+        cpu_spec=None,
+        fanout: int = 4,
+        leaf_size: int = 16,
+        path_length: int = 4,
+        seed: int = 29,
+    ):
+        super().__init__(metric, cpu_spec)
+        if fanout < 2:
+            raise BaselineError("MVPT fanout must be at least 2")
+        if leaf_size < 1:
+            raise BaselineError("MVPT leaf size must be at least 1")
+        self.fanout = int(fanout)
+        self.leaf_size = int(leaf_size)
+        self.path_length = int(path_length)
+        self._rng = np.random.default_rng(seed)
+        self._root: Optional[_MVPNode] = None
+        self._node_count = 0
+        #: per-object distances to its first ``path_length`` ancestor pivots
+        self._path_dists: dict[int, list[float]] = {}
+
+    # ---------------------------------------------------------------- build
+    def _build_impl(self) -> None:
+        self._node_count = 0
+        self._path_dists = {int(i): [] for i in self.live_ids()}
+        self._root = self._build_node(self.live_ids().tolist(), depth=0)
+
+    def _build_node(self, ids: list[int], depth: int) -> _MVPNode:
+        self._node_count += 1
+        node = _MVPNode(object_ids=list(ids))
+        if len(ids) <= max(self.leaf_size, self.fanout):
+            return node
+        vantage = ids[int(self._rng.integers(0, len(ids)))]
+        dists = self.executor.distances(
+            self.metric, self._objects[vantage], [self._objects[i] for i in ids]
+        )
+        if depth < self.path_length:
+            for obj_id, dist in zip(ids, dists):
+                self._path_dists[int(obj_id)].append(float(dist))
+        order = np.argsort(dists, kind="stable")
+        sorted_ids = [ids[i] for i in order]
+        sorted_dists = dists[order]
+        if sorted_dists[0] == sorted_dists[-1]:
+            return node  # all objects at the same distance: nothing to split on
+        node.vantage_id = vantage
+        node.vantage_obj = self._objects[vantage]
+        node.object_ids = []
+        chunk = len(ids) // self.fanout
+        for j in range(self.fanout):
+            lo = j * chunk
+            hi = (j + 1) * chunk if j < self.fanout - 1 else len(ids)
+            child_ids = sorted_ids[lo:hi]
+            if not child_ids:
+                continue
+            lo_d = float(sorted_dists[lo])
+            hi_d = float(sorted_dists[hi - 1])
+            node.child_ranges.append((lo_d, hi_d))
+            node.children.append(self._build_node(child_ids, depth + 1))
+        return node
+
+    @property
+    def storage_bytes(self) -> int:
+        per_node = 8 + self.fanout * (16 + 8)
+        path_bytes = sum(len(v) for v in self._path_dists.values()) * 8
+        return int(self._node_count * per_node + self.num_objects * 8 + path_bytes)
+
+    # --------------------------------------------------------------- queries
+    def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries),))
+        out = []
+        for query, radius in zip(queries, radii_arr):
+            hits: list[tuple[int, float]] = []
+            self._range_rec(self._root, query, float(radius), hits)
+            out.append(sorted(set(hits), key=lambda p: (p[1], p[0])))
+        return out
+
+    def _verify_leaf(self, node: _MVPNode, query, hits_or_pool, radius=None, pool=None, k=None):
+        live = [i for i in node.object_ids if self._objects[i] is not None]
+        if not live:
+            return
+        dists = self.executor.distances(self.metric, query, [self._objects[i] for i in live])
+        for obj_id, dist in zip(live, dists):
+            if radius is not None:
+                if dist <= radius:
+                    hits_or_pool.append((int(obj_id), float(dist)))
+            else:
+                prev = pool.get(int(obj_id))
+                if prev is None or dist < prev:
+                    pool[int(obj_id)] = float(dist)
+
+    def _range_rec(self, node: _MVPNode, query, radius: float, hits: list) -> None:
+        if node.is_leaf:
+            self._verify_leaf(node, query, hits, radius=radius)
+            return
+        dv = self.executor.distance(self.metric, query, node.vantage_obj)
+        if self._objects[node.vantage_id] is not None and dv <= radius:
+            hits.append((int(node.vantage_id), float(dv)))
+        for (lo, hi), child in zip(node.child_ranges, node.children):
+            if dv + radius >= lo and dv - radius <= hi:
+                self._range_rec(child, query, radius, hits)
+
+    def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
+        self._require_built()
+        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
+        out = []
+        for query, kk in zip(queries, k_arr):
+            pool: dict[int, float] = {}
+            self._knn_rec(self._root, query, int(kk), pool)
+            ranked = sorted(pool.items(), key=lambda p: (p[1], p[0]))[: int(kk)]
+            out.append([(int(i), float(d)) for i, d in ranked])
+        return out
+
+    def _knn_bound(self, pool: dict, k: int) -> float:
+        if len(pool) < k:
+            return np.inf
+        return sorted(pool.values())[k - 1]
+
+    def _knn_rec(self, node: _MVPNode, query, k: int, pool: dict) -> None:
+        if node.is_leaf:
+            self._verify_leaf(node, query, None, pool=pool)
+            return
+        dv = self.executor.distance(self.metric, query, node.vantage_obj)
+        if self._objects[node.vantage_id] is not None:
+            prev = pool.get(int(node.vantage_id))
+            if prev is None or dv < prev:
+                pool[int(node.vantage_id)] = float(dv)
+        # nearest-range-first order tightens the bound early
+        order = sorted(
+            range(len(node.children)),
+            key=lambda j: max(0.0, max(node.child_ranges[j][0] - dv, dv - node.child_ranges[j][1])),
+        )
+        for j in order:
+            lo, hi = node.child_ranges[j]
+            bound = self._knn_bound(pool, k)
+            if dv + bound >= lo and dv - bound <= hi:
+                self._knn_rec(node.children[j], query, k, pool)
+
+    # --------------------------------------------------------------- updates
+    def insert(self, obj) -> int:
+        """Structural insertion: route to the child whose range is nearest."""
+        self._require_built()
+        obj_id = len(self._objects)
+        self._objects.append(obj)
+        self._path_dists[obj_id] = []
+        node = self._root
+        while not node.is_leaf:
+            dv = self.executor.distance(self.metric, obj, node.vantage_obj)
+            best_j = 0
+            best_gap = np.inf
+            for j, (lo, hi) in enumerate(node.child_ranges):
+                gap = max(0.0, max(lo - dv, dv - hi))
+                if gap < best_gap:
+                    best_gap, best_j = gap, j
+            lo, hi = node.child_ranges[best_j]
+            node.child_ranges[best_j] = (min(lo, dv), max(hi, dv))
+            node = node.children[best_j]
+        node.object_ids.append(obj_id)
+        if len(node.object_ids) > 4 * max(self.leaf_size, self.fanout):
+            rebuilt = self._build_node(
+                [i for i in node.object_ids if self._objects[i] is not None], depth=self.path_length
+            )
+            node.__dict__.update(rebuilt.__dict__)
+        return obj_id
+
+    def delete(self, obj_id: int) -> None:
+        """Lazy deletion: hide the object from query answers."""
+        self._require_built()
+        obj_id = int(obj_id)
+        if obj_id < 0 or obj_id >= len(self._objects) or self._objects[obj_id] is None:
+            raise BaselineError(f"{self.name}: unknown object id {obj_id}")
+        self._objects[obj_id] = None
+        self.executor.execute(1.0, label="delete")

@@ -1,0 +1,50 @@
+"""Core GTS index: structure, construction, queries, updates, cost model."""
+
+from .cache_table import CacheTable
+from .construction import BuildResult, build_tree
+from .cost_model import (
+    DistanceDistribution,
+    estimate_construction_cost,
+    estimate_distance_distribution,
+    estimate_query_cost,
+    recommend_node_capacity,
+    survival_probability,
+)
+from .encoding import decode_distances, encode_distances
+from .gts import GTS
+from .knn_query import batch_knn_query
+from .multimetric import MultiColumnGTS
+from .nodes import TreeStructure, level_size, level_start, total_nodes, tree_height
+from .persistence import INDEX_FORMAT_VERSION, load_index, save_index
+from .pivots import available_pivot_strategies, get_pivot_selector
+from .range_query import batch_range_query
+from .searchcommon import PruneMode
+
+__all__ = [
+    "GTS",
+    "MultiColumnGTS",
+    "TreeStructure",
+    "save_index",
+    "load_index",
+    "INDEX_FORMAT_VERSION",
+    "BuildResult",
+    "build_tree",
+    "batch_range_query",
+    "batch_knn_query",
+    "CacheTable",
+    "PruneMode",
+    "encode_distances",
+    "decode_distances",
+    "tree_height",
+    "total_nodes",
+    "level_start",
+    "level_size",
+    "get_pivot_selector",
+    "available_pivot_strategies",
+    "DistanceDistribution",
+    "estimate_distance_distribution",
+    "estimate_query_cost",
+    "estimate_construction_cost",
+    "recommend_node_capacity",
+    "survival_probability",
+]

@@ -1,0 +1,163 @@
+"""Cache table for streaming updates (Section 4.4, "Stream Data Updates").
+
+GPUs are poor at fine-grained structural updates, so GTS never modifies the
+tree in place.  Instead, inspired by the LSM-tree write path, it buffers
+streaming changes in a small, contiguous **cache table**:
+
+* an insertion appends the new object to the cache table — ``O(1)``;
+* a deletion removes the object from the cache table if it lives there,
+  otherwise the object's slot in the index is tombstoned — ``O(1)``;
+* similarity queries probe the cache table with a brute-force parallel scan
+  and merge its answers with the tree's answers, ignoring tombstoned objects;
+* when the cache table outgrows its byte budget, the whole index is rebuilt
+  from the union of live indexed objects and cached objects, and the cache is
+  cleared (the paper's "peak-valley" strategy).
+
+This module implements the cache table and its brute-force query path; the
+rebuild policy lives in :class:`repro.core.gts.GTS`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import UpdateError
+from ..gpusim.device import Allocation, Device
+from ..metrics.base import Metric
+from .construction import objects_nbytes
+
+__all__ = ["CacheTable"]
+
+
+class CacheTable:
+    """Fixed-budget buffer of recently inserted objects.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Size budget of the cache table.  The paper evaluates 0.01 KB – 10 KB
+        (Table 5) and recommends ~5 KB as the sweet spot between update and
+        search efficiency.
+    device:
+        Simulated device on which the cache table (and its brute-force query
+        scans) lives.  The byte budget is allocated up-front so that a larger
+        cache leaves less memory for concurrent query processing — the
+        trade-off behind Table 5's "decrease then increase" trend.
+    """
+
+    def __init__(self, capacity_bytes: int, device: Optional[Device] = None):
+        if capacity_bytes <= 0:
+            raise UpdateError("cache table capacity must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._device = device
+        self._objects: dict[int, object] = {}
+        self._used_bytes = 0
+        self._allocation: Optional[Allocation] = None
+        if device is not None:
+            self._allocation = device.allocate(self.capacity_bytes, "gts-cache-table")
+
+    # ------------------------------------------------------------ bookkeeping
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, obj_id: int) -> bool:
+        return int(obj_id) in self._objects
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes of cached payload currently buffered."""
+        return self._used_bytes
+
+    @property
+    def is_full(self) -> bool:
+        """True once the buffered payload exceeds the byte budget."""
+        return self._used_bytes > self.capacity_bytes
+
+    def object_ids(self) -> list[int]:
+        """Ids of the objects currently buffered (insertion order)."""
+        return list(self._objects)
+
+    @staticmethod
+    def _object_size(obj) -> int:
+        return max(1, objects_nbytes([obj]))
+
+    # ------------------------------------------------------------- mutations
+    def insert(self, obj_id: int, obj) -> None:
+        """Buffer a newly inserted object (O(1))."""
+        obj_id = int(obj_id)
+        if obj_id in self._objects:
+            raise UpdateError(f"object {obj_id} is already buffered in the cache table")
+        self._objects[obj_id] = obj
+        self._used_bytes += self._object_size(obj)
+
+    def remove(self, obj_id: int) -> bool:
+        """Remove a buffered object; returns False when it is not buffered."""
+        obj = self._objects.pop(int(obj_id), None)
+        if obj is None:
+            return False
+        self._used_bytes -= self._object_size(obj)
+        return True
+
+    def clear(self) -> None:
+        """Drop every buffered object (after a rebuild)."""
+        self._objects.clear()
+        self._used_bytes = 0
+
+    def release(self) -> None:
+        """Free the device allocation backing the cache table."""
+        if self._device is not None and self._allocation is not None:
+            self._device.free(self._allocation)
+            self._allocation = None
+
+    # --------------------------------------------------------------- queries
+    def range_scan(
+        self,
+        metric: Metric,
+        query,
+        radius: float,
+        device: Optional[Device] = None,
+    ) -> list[tuple[int, float]]:
+        """Brute-force range scan of the cache table (parallel on the device)."""
+        if not self._objects:
+            return []
+        ids = list(self._objects)
+        start = time.perf_counter()
+        dists = metric.pairwise(query, [self._objects[i] for i in ids])
+        host = time.perf_counter() - start
+        dev = device or self._device
+        if dev is not None:
+            dev.launch_kernel(
+                work_items=len(ids), op_cost=metric.unit_cost, label="cache-scan", host_time=host
+            )
+        return [
+            (int(oid), float(d)) for oid, d in zip(ids, dists) if d <= radius
+        ]
+
+    def knn_scan(
+        self,
+        metric: Metric,
+        query,
+        k: int,
+        device: Optional[Device] = None,
+    ) -> list[tuple[int, float]]:
+        """Brute-force kNN scan of the cache table (parallel on the device)."""
+        if not self._objects or k <= 0:
+            return []
+        ids = list(self._objects)
+        start = time.perf_counter()
+        dists = metric.pairwise(query, [self._objects[i] for i in ids])
+        host = time.perf_counter() - start
+        dev = device or self._device
+        if dev is not None:
+            dev.launch_kernel(
+                work_items=len(ids), op_cost=metric.unit_cost, label="cache-scan", host_time=host
+            )
+        ranked = sorted(zip(ids, dists), key=lambda item: (item[1], item[0]))
+        return [(int(oid), float(d)) for oid, d in ranked[:k]]
+
+    def items(self) -> list[tuple[int, object]]:
+        """Return ``(object_id, object)`` pairs currently buffered."""
+        return list(self._objects.items())

@@ -1,0 +1,268 @@
+"""Level-synchronous parallel construction of the GTS index (Algorithms 1-3).
+
+The construction proceeds top-down, one level per iteration.  Every iteration
+runs two phases, each of which the paper maps onto device-wide kernels:
+
+*Mapping* (Algorithm 2)
+    For every node of the current level, pick a pivot (FFT by default) and
+    compute the distance from that pivot to each object the node holds.  All
+    nodes of the level are handled by one conceptual kernel because their
+    object ranges are contiguous in the table list.
+
+*Partitioning* (Algorithm 3)
+    Normalise the freshly computed distances, encode them as
+    ``node_index + dis / (max + 1)``, sort the *whole* table list once with a
+    device sort, decode, and split every node's (now distance-sorted) slice
+    evenly into ``Nc`` children.
+
+The result is a balanced tree of height ``h = ⌈log_Nc(n + 1)⌉ - 1``; nodes at
+the last level may be over-full, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConstructionError
+from ..gpusim.device import Allocation, Device
+from ..gpusim.kernels import sort_kernel
+from ..metrics.base import Metric
+from .encoding import encode_distances
+from .nodes import NO_PIVOT, TreeStructure, level_size, level_start
+from .pivots import PivotSelector, get_pivot_selector
+
+__all__ = ["build_tree", "BuildResult", "take_objects", "objects_nbytes"]
+
+
+def take_objects(objects: Sequence, ids) -> Sequence:
+    """Return the objects with the given ids, preserving array-ness.
+
+    ``objects`` may be a NumPy array (vector datasets) or a plain list
+    (string datasets); the result is suitable for ``Metric.pairwise``.
+    """
+    if isinstance(objects, np.ndarray):
+        return objects[np.asarray(ids, dtype=np.int64)]
+    return [objects[int(i)] for i in np.asarray(ids, dtype=np.int64)]
+
+
+def objects_nbytes(objects: Sequence, ids=None) -> int:
+    """Estimate the device-resident size of a set of objects in bytes."""
+    if isinstance(objects, np.ndarray):
+        per_row = objects[0].nbytes if len(objects) else 0
+        count = len(objects) if ids is None else len(ids)
+        return int(per_row * count)
+    if ids is None:
+        items = objects
+    else:
+        items = [objects[int(i)] for i in ids]
+    total = 0
+    for item in items:
+        if isinstance(item, str):
+            total += len(item)
+        elif isinstance(item, np.ndarray):
+            total += item.nbytes
+        else:
+            total += 8
+    return int(total)
+
+
+@dataclass
+class BuildResult:
+    """Outcome of one index construction."""
+
+    tree: TreeStructure
+    allocations: list = field(default_factory=list)
+    sim_time: float = 0.0
+    wall_time: float = 0.0
+    distance_computations: int = 0
+
+    def storage_bytes(self) -> int:
+        """Index storage (node list + table list), excluding the raw objects."""
+        return self.tree.storage_bytes()
+
+
+def _select_pivots(
+    tree: TreeStructure,
+    node_ids: np.ndarray,
+    is_root_level: bool,
+    selector: PivotSelector,
+    rng: np.random.Generator,
+) -> None:
+    """Choose and record a pivot for every node of the current level."""
+    for node_id in node_ids:
+        p = int(tree.pos[node_id])
+        s = int(tree.size[node_id])
+        local_dis = tree.obj_dis[p : p + s]
+        offset = selector(local_dis, is_root_level, rng)
+        tree.pivot[node_id] = tree.obj_ids[p + offset]
+
+
+def _map_level(
+    tree: TreeStructure,
+    node_ids: np.ndarray,
+    objects: Sequence,
+    metric: Metric,
+    device: Device,
+) -> int:
+    """Mapping phase: distances from each node's pivot to its objects.
+
+    Returns the number of distance computations performed (for statistics);
+    the device time is charged as one level-wide kernel.
+    """
+    total = 0
+    host_start = time.perf_counter()
+    for node_id in node_ids:
+        p = int(tree.pos[node_id])
+        s = int(tree.size[node_id])
+        if s == 0:
+            continue
+        pivot_obj = objects[int(tree.pivot[node_id])]
+        node_objects = take_objects(objects, tree.obj_ids[p : p + s])
+        tree.obj_dis[p : p + s] = metric.pairwise(pivot_obj, node_objects)
+        total += s
+    host = time.perf_counter() - host_start
+    device.launch_kernel(
+        work_items=total, op_cost=metric.unit_cost, label="gts-mapping", host_time=host
+    )
+    return total
+
+
+def _partition_level(
+    tree: TreeStructure,
+    node_ids: np.ndarray,
+    device: Device,
+) -> None:
+    """Partitioning phase: encode, global sort, decode, create children."""
+    nc = tree.node_capacity
+    n = tree.num_objects
+
+    # Normalisation constant (Algorithm 3, lines 1-2): device-wide max reduce.
+    max_dis = float(tree.obj_dis.max()) if n else 0.0
+    device.launch_kernel(work_items=n, op_cost=1.0, label="gts-max-reduce")
+
+    # Encoding (lines 3-6): one key per object.
+    segment_ids = np.zeros(n, dtype=np.int64)
+    for local_index, node_id in enumerate(node_ids):
+        p = int(tree.pos[node_id])
+        s = int(tree.size[node_id])
+        segment_ids[p : p + s] = local_index
+    encoded = encode_distances(tree.obj_dis, segment_ids, max_dis)
+    device.launch_kernel(work_items=n, op_cost=2.0, label="gts-encode")
+
+    # Global sort (line 7): note the sort is stable so equal keys (identical
+    # objects) keep their relative order, which is what makes the Fig. 10
+    # duplicate-heavy workloads behave.
+    order = sort_kernel(device, encoded, op_cost=1.0, label="gts-global-sort")
+    tree.obj_ids[:] = tree.obj_ids[order]
+    tree.obj_dis[:] = tree.obj_dis[order]
+
+    # Decoding (lines 10-11) is implicit because obj_dis kept the raw
+    # distances; charge the kernel anyway to stay faithful to the cost model.
+    device.launch_kernel(work_items=n, op_cost=1.0, label="gts-decode")
+
+    # Child creation (lines 12-18): even split, last child takes the slack.
+    created = 0
+    for node_id in node_ids:
+        p = int(tree.pos[node_id])
+        s = int(tree.size[node_id])
+        avg = s // nc
+        children = tree.children_of(int(node_id))
+        for j, child in enumerate(children):
+            child = int(child)
+            if j < nc - 1:
+                c_pos, c_size = p + j * avg, avg
+            else:
+                c_pos, c_size = p + (nc - 1) * avg, s - avg * (nc - 1)
+            tree.pos[child] = c_pos
+            tree.size[child] = c_size
+            if c_size > 0:
+                tree.min_dis[child] = tree.obj_dis[c_pos]
+                tree.max_dis[child] = tree.obj_dis[c_pos + c_size - 1]
+            created += 1
+    device.launch_kernel(work_items=created, op_cost=4.0, label="gts-make-children")
+
+
+def build_tree(
+    objects: Sequence,
+    object_ids: np.ndarray,
+    metric: Metric,
+    node_capacity: int,
+    device: Device,
+    rng: Optional[np.random.Generator] = None,
+    pivot_strategy: str | PivotSelector = "fft",
+    allocate_storage: bool = True,
+) -> BuildResult:
+    """Build a GTS tree over ``object_ids`` drawn from ``objects``.
+
+    Parameters
+    ----------
+    objects:
+        The backing object store (list of strings or an ``(n, d)`` array).
+        Positions in this store are the persistent object ids.
+    object_ids:
+        Which objects to index (supports rebuilds after deletions).
+    metric:
+        The distance metric of the metric space.
+    node_capacity:
+        ``Nc``; must be at least 2.
+    device:
+        Simulated GPU the construction kernels run on.
+    rng:
+        Random generator for the root pivot choice; defaults to a fixed seed
+        so builds are reproducible.
+    pivot_strategy:
+        ``"fft"`` (paper default), ``"random"``, ``"center"`` or a custom
+        :class:`PivotSelector`.
+    allocate_storage:
+        When True (default) the index storage and the indexed objects are
+        charged against the device's memory; the allocations are returned in
+        the result so the caller can free them when the index is dropped.
+    """
+    object_ids = np.asarray(object_ids, dtype=np.int64)
+    n = len(object_ids)
+    if n == 0:
+        raise ConstructionError("cannot build an index over an empty object set")
+    if node_capacity < 2:
+        raise ConstructionError(f"node capacity must be at least 2, got {node_capacity}")
+    if rng is None:
+        rng = np.random.default_rng(17)
+    if isinstance(pivot_strategy, PivotSelector):
+        selector = pivot_strategy
+    else:
+        selector = get_pivot_selector(pivot_strategy)
+
+    wall_start = time.perf_counter()
+    sim_start = device.stats.sim_time
+    dist_start = metric.pair_count
+
+    tree = TreeStructure.empty(n, node_capacity)
+    tree.obj_ids[:] = object_ids
+    tree.pos[0] = 0
+    tree.size[0] = n
+
+    allocations: list[Allocation] = []
+    if allocate_storage:
+        device.transfer_to_device(objects_nbytes(objects, object_ids))
+        allocations.append(device.allocate(objects_nbytes(objects, object_ids), "gts-objects"))
+        allocations.append(device.allocate(tree.storage_bytes(), "gts-index"))
+
+    for layer in range(tree.height):
+        start = level_start(layer, node_capacity)
+        ids = np.arange(start, start + level_size(layer, node_capacity), dtype=np.int64)
+        active = ids[tree.size[ids] > 0]
+        _select_pivots(tree, active, layer == 0, selector, rng)
+        _map_level(tree, active, objects, metric, device)
+        _partition_level(tree, active, device)
+
+    result = BuildResult(
+        tree=tree,
+        allocations=allocations,
+        sim_time=device.stats.sim_time - sim_start,
+        wall_time=time.perf_counter() - wall_start,
+        distance_computations=metric.pair_count - dist_start,
+    )
+    return result

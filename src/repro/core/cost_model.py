@@ -1,0 +1,208 @@
+"""Cost model for GTS similarity search and construction (Section 5.3).
+
+The model estimates the per-query search cost as a function of the node
+capacity ``Nc`` and uses it to recommend a capacity that balances the two
+opposing forces the paper identifies:
+
+* a **large** ``Nc`` gives a shallow tree — fewer sequential levels, so fewer
+  synchronisation rounds on the GPU — but fewer pivots, hence weaker pruning
+  and more distance computations;
+* a **small** ``Nc`` prunes aggressively but needs more levels, each of which
+  costs at least one kernel round-trip.
+
+Following the paper, the probability that an object survives pruning at one
+level is bounded with Chebyshev's inequality by ``1 - 2σ²/r²`` where ``σ²``
+is the variance of the pivot-distance distribution and ``r`` the query
+radius; the surviving candidate set shrinks geometrically with depth.  The
+estimated cost of a query is then
+
+    ``Σ_{i=1..h} [ launch + ⌈S_i / C⌉ · log2(Nc) · op ]  +  ⌈S_h / C⌉ · op``
+
+with ``S_i = min(n, Nc^i) · p^i`` the expected number of live candidates at
+level ``i`` (the last term is the leaf verification).  Construction cost uses
+the ``O(⌈n/C⌉ log² n)`` per-level bound of Section 4.5.
+
+The absolute values are only as good as the distributional assumptions, but
+the *argmin over Nc* tracks the measured optimum well (see the
+``bench_ablation_cost_model`` benchmark), which is all the paper uses it for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import QueryError
+from ..gpusim.specs import DeviceSpec
+from ..metrics.base import Metric
+
+__all__ = [
+    "DistanceDistribution",
+    "estimate_distance_distribution",
+    "survival_probability",
+    "estimate_query_cost",
+    "estimate_construction_cost",
+    "recommend_node_capacity",
+]
+
+
+@dataclass(frozen=True)
+class DistanceDistribution:
+    """Summary statistics of the pairwise-distance distribution of a dataset."""
+
+    mean: float
+    std: float
+    max: float
+    sample_size: int
+
+    @property
+    def variance(self) -> float:
+        return self.std ** 2
+
+
+def estimate_distance_distribution(
+    objects: Sequence,
+    metric: Metric,
+    sample_size: int = 128,
+    rng: Optional[np.random.Generator] = None,
+) -> DistanceDistribution:
+    """Estimate the distance distribution from a random sample of object pairs."""
+    n = len(objects)
+    if n < 2:
+        raise QueryError("need at least two objects to estimate a distance distribution")
+    rng = rng or np.random.default_rng(7)
+    sample_size = min(sample_size, n)
+    idx = rng.choice(n, size=sample_size, replace=False)
+    if isinstance(objects, np.ndarray):
+        sample = objects[idx]
+    else:
+        sample = [objects[int(i)] for i in idx]
+    anchors = min(16, sample_size)
+    dists = []
+    for a in range(anchors):
+        row = metric.pairwise(sample[a], sample)
+        dists.append(np.delete(row, a))
+    all_d = np.concatenate(dists)
+    return DistanceDistribution(
+        mean=float(all_d.mean()),
+        std=float(all_d.std()),
+        max=float(all_d.max()),
+        sample_size=len(all_d),
+    )
+
+
+def survival_probability(sigma: float, radius: float) -> float:
+    """Chebyshev-style bound on the probability that one pivot fails to prune.
+
+    Equation (3) of the paper: ``Pr(|X - Y| <= r) >= 1 - 2σ²/r²``.  The value
+    is clipped to ``[0.02, 1]``: the lower clip keeps the model stable for
+    very selective radii (the bound is vacuous there) and mirrors the paper's
+    observation that a few pivots already remove most candidates.
+    """
+    if radius <= 0:
+        return 0.02
+    p = 1.0 - 2.0 * (sigma ** 2) / (radius ** 2)
+    return float(min(1.0, max(0.02, p)))
+
+
+def _height(n: int, node_capacity: int) -> int:
+    if n <= 1:
+        return 0
+    return max(1, int(math.ceil(math.log(n + 1, node_capacity))) - 1)
+
+
+def estimate_query_cost(
+    n: int,
+    node_capacity: int,
+    device: DeviceSpec,
+    sigma: float,
+    radius: float,
+    metric_unit_cost: float = 1.0,
+) -> float:
+    """Estimated simulated seconds for one similarity query under GTS.
+
+    See the module docstring for the formula.  ``radius`` plays the role of
+    the query selectivity knob; for MkNNQ pass the expected k-th neighbour
+    distance.
+    """
+    if n <= 0:
+        return 0.0
+    if node_capacity < 2:
+        raise QueryError("node capacity must be at least 2")
+    h = _height(n, node_capacity)
+    p = survival_probability(sigma, radius)
+    c = device.cores
+    cost = 0.0
+    candidates = 1.0  # expected number of candidate nodes at the current level
+    for level in range(1, h + 1):
+        candidates = min(float(n), candidates * node_capacity * p)
+        cost += device.kernel_launch_overhead
+        # pivot distance computations for the surviving candidates ...
+        cost += math.ceil(candidates / c) * metric_unit_cost * device.op_time
+        # ... plus the per-level pruning tests / candidate bookkeeping
+        cost += (
+            math.ceil(candidates * node_capacity / c)
+            * max(1.0, math.log2(node_capacity))
+            * device.op_time
+        )
+    # leaf verification: surviving fraction of the dataset
+    leaf_candidates = min(float(n), float(n) * (p ** h))
+    cost += device.kernel_launch_overhead
+    cost += math.ceil(leaf_candidates / c) * metric_unit_cost * device.op_time
+    return cost
+
+
+def estimate_construction_cost(
+    n: int,
+    node_capacity: int,
+    device: DeviceSpec,
+    metric_unit_cost: float = 1.0,
+) -> float:
+    """Estimated simulated seconds to build GTS over ``n`` objects.
+
+    Per level: a mapping kernel (``⌈n/C⌉`` distance rounds), a global sort
+    (``⌈n/C⌉ log2 n`` rounds) and a partitioning kernel, summed over the
+    ``h ≈ log_Nc n`` levels — the ``O(⌈n/C⌉ log³ n)`` bound of Section 4.5.
+    """
+    if n <= 0:
+        return 0.0
+    h = _height(n, node_capacity)
+    c = device.cores
+    per_level = (
+        3 * device.kernel_launch_overhead
+        + math.ceil(n / c) * metric_unit_cost * device.op_time
+        + math.ceil(n / c) * max(1.0, math.log2(n)) * device.op_time
+        + math.ceil(n / c) * device.op_time
+    )
+    return h * per_level
+
+
+def recommend_node_capacity(
+    n: int,
+    device: DeviceSpec,
+    sigma: float,
+    radius: float,
+    candidates: Sequence[int] = (10, 20, 40, 80, 160, 320),
+    metric_unit_cost: float = 1.0,
+) -> int:
+    """Return the candidate node capacity with the lowest estimated query cost.
+
+    This is the tuning procedure the paper's Section 5.3 discussion implies:
+    evaluate the cost model over the candidate capacities (Table 3's set by
+    default) and pick the argmin.  Ties go to the smaller capacity, matching
+    the paper's recommendation of a relatively small ``Nc`` when the GPU's
+    concurrency and the dataset size are comparable.
+    """
+    if not candidates:
+        raise QueryError("candidates must not be empty")
+    best_nc = None
+    best_cost = math.inf
+    for nc in sorted(candidates):
+        cost = estimate_query_cost(n, nc, device, sigma, radius, metric_unit_cost)
+        if cost < best_cost - 1e-18:
+            best_cost = cost
+            best_nc = nc
+    return int(best_nc)

@@ -1,0 +1,442 @@
+"""Public facade of the GTS index.
+
+:class:`GTS` ties together the pieces built in the rest of :mod:`repro.core`:
+
+* level-synchronous parallel construction (Algorithms 1-3);
+* batch metric range queries and batch metric kNN queries (Algorithms 4-5)
+  with the two-stage memory-aware grouping;
+* streaming updates through the cache table and tombstones, with automatic
+  full rebuilds when the cache outgrows its budget (Section 4.4);
+* the node-capacity cost model (Section 5.3).
+
+A minimal end-to-end use looks like::
+
+    from repro import GTS, EuclideanDistance
+
+    index = GTS.build(points, EuclideanDistance(), node_capacity=20)
+    hits = index.range_query(points[0], radius=0.5)
+    neighbours = index.knn_query_batch(points[:64], k=10)
+
+Object identity: every object handed to the index receives a persistent
+integer id (its position in the insertion order).  Query answers are
+``(object_id, distance)`` pairs; :meth:`GTS.get_object` maps ids back to
+objects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import IndexError_, QueryError, UpdateError
+from ..gpusim.device import Device
+from ..gpusim.specs import DeviceSpec
+from ..metrics.base import Metric
+from .cache_table import CacheTable
+from .construction import BuildResult, build_tree
+from .cost_model import (
+    DistanceDistribution,
+    estimate_distance_distribution,
+    recommend_node_capacity,
+)
+from .knn_query import batch_knn_query
+from .nodes import TreeStructure
+from .range_query import batch_range_query
+from .searchcommon import PruneMode
+
+__all__ = ["GTS"]
+
+#: Default cache-table budget; the paper recommends ~5 KB (Section 6.2).
+DEFAULT_CACHE_BYTES = 5 * 1024
+
+
+class GTS:
+    """GPU-based Tree index for Similarity search (simulated-GPU edition).
+
+    Parameters
+    ----------
+    metric:
+        Distance metric of the metric space.
+    node_capacity:
+        Fan-out ``Nc`` of the tree (the paper's tuning knob, default 20).
+    device:
+        Simulated GPU to run on; a default 11 GB / 4096-core device is
+        created when omitted.
+    cache_capacity_bytes:
+        Byte budget of the streaming-update cache table.
+    pivot_strategy:
+        Pivot selection strategy (``"fft"``, ``"random"``, ``"center"``).
+    prune_mode:
+        ``"two-sided"`` (default) or ``"one-sided"`` pruning (ablation).
+    seed:
+        Seed of the construction RNG (root pivot choice), for reproducibility.
+    """
+
+    def __init__(
+        self,
+        metric: Metric,
+        node_capacity: int = 20,
+        device: Optional[Device] = None,
+        cache_capacity_bytes: int = DEFAULT_CACHE_BYTES,
+        pivot_strategy: str = "fft",
+        prune_mode: str = "two-sided",
+        seed: int = 17,
+    ):
+        if node_capacity < 2:
+            raise IndexError_(f"node capacity must be at least 2, got {node_capacity}")
+        self.metric = metric
+        self.node_capacity = int(node_capacity)
+        self.device = device or Device(DeviceSpec())
+        self.pivot_strategy = pivot_strategy
+        self.prune_mode = PruneMode.from_name(prune_mode)
+        self._rng = np.random.default_rng(seed)
+
+        self._objects: list = []
+        self._indexed_ids: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._tombstones: set[int] = set()
+        self._tree: Optional[TreeStructure] = None
+        self._build_result: Optional[BuildResult] = None
+        self._allocations: list = []
+        self._cache = CacheTable(cache_capacity_bytes, device=self.device)
+        self._rebuild_count = 0
+
+    # ------------------------------------------------------------ lifecycle
+    @classmethod
+    def build(
+        cls,
+        objects: Sequence,
+        metric: Metric,
+        node_capacity: int = 20,
+        device: Optional[Device] = None,
+        cache_capacity_bytes: int = DEFAULT_CACHE_BYTES,
+        pivot_strategy: str = "fft",
+        prune_mode: str = "two-sided",
+        seed: int = 17,
+    ) -> "GTS":
+        """Build a GTS index over ``objects`` and return it."""
+        index = cls(
+            metric=metric,
+            node_capacity=node_capacity,
+            device=device,
+            cache_capacity_bytes=cache_capacity_bytes,
+            pivot_strategy=pivot_strategy,
+            prune_mode=prune_mode,
+            seed=seed,
+        )
+        index.bulk_load(objects)
+        return index
+
+    def bulk_load(self, objects: Sequence) -> BuildResult:
+        """(Re)initialise the index with ``objects`` as its full content."""
+        if len(objects) == 0:
+            raise IndexError_("cannot bulk load an empty object collection")
+        self._release_index()
+        self._objects = [objects[i] for i in range(len(objects))]
+        self._tombstones = set()
+        self._cache.clear()
+        self._indexed_ids = np.arange(len(self._objects), dtype=np.int64)
+        return self._build()
+
+    def _build(self) -> BuildResult:
+        """Build the tree over the currently indexed ids."""
+        result = build_tree(
+            self._objects,
+            self._indexed_ids,
+            self.metric,
+            self.node_capacity,
+            self.device,
+            rng=self._rng,
+            pivot_strategy=self.pivot_strategy,
+        )
+        self._tree = result.tree
+        self._build_result = result
+        self._allocations = result.allocations
+        return result
+
+    def _release_index(self) -> None:
+        for alloc in self._allocations:
+            self.device.free(alloc)
+        self._allocations = []
+        self._tree = None
+        self._build_result = None
+
+    def close(self) -> None:
+        """Free every device allocation held by the index."""
+        self._release_index()
+        self._cache.release()
+
+    # ------------------------------------------------------------ properties
+    @property
+    def tree(self) -> TreeStructure:
+        """The underlying flat tree structure (read-only use only)."""
+        self._require_built()
+        return self._tree
+
+    @property
+    def height(self) -> int:
+        """Height ``h`` of the tree (leaves live at level ``h``)."""
+        self._require_built()
+        return self._tree.height
+
+    @property
+    def num_objects(self) -> int:
+        """Number of live (visible) objects: indexed - deleted + cached."""
+        return len(self._indexed_ids) - len(self._tombstones) + len(self._cache)
+
+    @property
+    def num_indexed(self) -> int:
+        """Number of objects inside the tree (including tombstoned slots)."""
+        return len(self._indexed_ids)
+
+    @property
+    def cache_size(self) -> int:
+        """Number of objects currently buffered in the cache table."""
+        return len(self._cache)
+
+    @property
+    def rebuild_count(self) -> int:
+        """How many automatic rebuilds streaming updates have triggered."""
+        return self._rebuild_count
+
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes of index storage (node list + table list)."""
+        self._require_built()
+        return self._tree.storage_bytes()
+
+    @property
+    def build_result(self) -> BuildResult:
+        """Timing/statistics of the most recent construction."""
+        self._require_built()
+        return self._build_result
+
+    def get_object(self, obj_id: int):
+        """Return the object registered under ``obj_id``."""
+        obj_id = int(obj_id)
+        if obj_id in self._cache:
+            return dict(self._cache.items())[obj_id]
+        if 0 <= obj_id < len(self._objects):
+            return self._objects[obj_id]
+        raise IndexError_(f"unknown object id {obj_id}")
+
+    def is_live(self, obj_id: int) -> bool:
+        """True when ``obj_id`` is currently visible to queries."""
+        obj_id = int(obj_id)
+        if obj_id in self._cache:
+            return True
+        return (
+            0 <= obj_id < len(self._objects)
+            and obj_id in set(self._indexed_ids.tolist())
+            and obj_id not in self._tombstones
+        )
+
+    def __len__(self) -> int:
+        return self.num_objects
+
+    def _require_built(self) -> None:
+        if self._tree is None:
+            raise IndexError_("the index has not been built yet; call bulk_load() first")
+
+    # -------------------------------------------------------------- queries
+    def range_query(self, query, radius: float) -> list[tuple[int, float]]:
+        """Answer a single metric range query ``MRQ(query, radius)``."""
+        return self.range_query_batch([query], radius)[0]
+
+    def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
+        """Answer a batch of metric range queries concurrently.
+
+        ``radii`` is a scalar shared by all queries or one value per query.
+        Results merge the tree's answers with the cache table's answers and
+        never contain deleted objects.
+        """
+        self._require_built()
+        tree_results = batch_range_query(
+            self._tree,
+            self._objects,
+            self.metric,
+            self.device,
+            queries,
+            radii,
+            exclude=self._tombstones or None,
+            prune_mode=self.prune_mode,
+        )
+        if len(self._cache) == 0:
+            return tree_results
+        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries),))
+        merged = []
+        for qi, query in enumerate(queries):
+            extra = self._cache.range_scan(self.metric, query, float(radii_arr[qi]), self.device)
+            combined = {oid: dist for oid, dist in tree_results[qi]}
+            combined.update({oid: dist for oid, dist in extra})
+            merged.append(sorted(combined.items(), key=lambda item: (item[1], item[0])))
+        return merged
+
+    def knn_query(self, query, k: int) -> list[tuple[int, float]]:
+        """Answer a single metric k-nearest-neighbour query ``MkNNQ(query, k)``."""
+        return self.knn_query_batch([query], k)[0]
+
+    def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
+        """Answer a batch of metric kNN queries concurrently."""
+        self._require_built()
+        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
+        if np.any(k_arr <= 0):
+            raise QueryError("k must be positive")
+        tree_results = batch_knn_query(
+            self._tree,
+            self._objects,
+            self.metric,
+            self.device,
+            queries,
+            k_arr,
+            exclude=self._tombstones or None,
+            prune_mode=self.prune_mode,
+        )
+        if len(self._cache) == 0:
+            return tree_results
+        merged = []
+        for qi, query in enumerate(queries):
+            extra = self._cache.knn_scan(self.metric, query, int(k_arr[qi]), self.device)
+            combined = {oid: dist for oid, dist in tree_results[qi]}
+            for oid, dist in extra:
+                if oid not in combined or dist < combined[oid]:
+                    combined[oid] = dist
+            ranked = sorted(combined.items(), key=lambda item: (item[1], item[0]))
+            merged.append([(int(o), float(d)) for o, d in ranked[: int(k_arr[qi])]])
+        return merged
+
+    # -------------------------------------------------------------- updates
+    def insert(self, obj) -> int:
+        """Insert one object (streaming update); returns its new object id.
+
+        The object lands in the cache table in ``O(1)``; when the cache
+        exceeds its byte budget the index is rebuilt from scratch using the
+        parallel construction algorithm and the cache is cleared.
+        """
+        self._require_built()
+        obj_id = len(self._objects)
+        self._objects.append(obj)
+        # O(1) append: ship the object to the device-resident cache table
+        from .construction import objects_nbytes
+
+        self.device.transfer_to_device(max(1, objects_nbytes([obj])))
+        self.device.launch_kernel(work_items=1, op_cost=1.0, label="cache-append")
+        self._cache.insert(obj_id, obj)
+        if self._cache.is_full:
+            self.rebuild()
+        return obj_id
+
+    def delete(self, obj_id: int) -> None:
+        """Delete one object by id (streaming update).
+
+        Cached objects are removed immediately; indexed objects are
+        tombstoned in the table list and filtered from every query until the
+        next rebuild.
+        """
+        self._require_built()
+        obj_id = int(obj_id)
+        # O(1): locating the slot and flipping the tombstone mark is one device write
+        self.device.launch_kernel(work_items=1, op_cost=1.0, label="tombstone-mark")
+        if self._cache.remove(obj_id):
+            return
+        if obj_id in self._tombstones:
+            raise UpdateError(f"object {obj_id} has already been deleted")
+        if obj_id < 0 or obj_id >= len(self._objects) or obj_id not in set(self._indexed_ids.tolist()):
+            raise UpdateError(f"unknown object id {obj_id}")
+        self._tombstones.add(obj_id)
+
+    def update(self, obj_id: int, new_obj) -> int:
+        """Modify an object: delete the old version, insert the new one."""
+        self.delete(obj_id)
+        return self.insert(new_obj)
+
+    def rebuild(self) -> BuildResult:
+        """Rebuild the tree from all live objects and clear the cache/tombstones."""
+        self._require_built()
+        live_indexed = [int(i) for i in self._indexed_ids if int(i) not in self._tombstones]
+        cached = [oid for oid, _ in self._cache.items()]
+        self._indexed_ids = np.asarray(live_indexed + cached, dtype=np.int64)
+        self._tombstones = set()
+        self._cache.clear()
+        self._release_index()
+        self._rebuild_count += 1
+        return self._build()
+
+    def batch_update(self, inserts: Sequence = (), deletes: Sequence[int] = ()) -> BuildResult:
+        """Apply a bulk update (Section 4.4, "Batch Updates").
+
+        Deletions and insertions are applied to the object store, then the
+        whole index is reconstructed — the paper's strategy for large update
+        volumes, which its Fig. 5 shows to be the GPU-friendly choice.
+        """
+        self._require_built()
+        delete_set = {int(d) for d in deletes}
+        unknown = delete_set - set(self._indexed_ids.tolist()) - {oid for oid, _ in self._cache.items()}
+        if unknown:
+            raise UpdateError(f"cannot delete unknown object ids: {sorted(unknown)}")
+        for obj_id in delete_set:
+            self._cache.remove(obj_id)
+        live = [int(i) for i in self._indexed_ids if int(i) not in delete_set and int(i) not in self._tombstones]
+        live += [oid for oid, _ in self._cache.items()]
+        new_ids = []
+        for obj in inserts:
+            obj_id = len(self._objects)
+            self._objects.append(obj)
+            new_ids.append(obj_id)
+        self._indexed_ids = np.asarray(live + new_ids, dtype=np.int64)
+        self._tombstones = set()
+        self._cache.clear()
+        self._release_index()
+        self._rebuild_count += 1
+        return self._build()
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path) -> "Path":
+        """Serialise the built index (tree, objects, cache, config) to ``path``.
+
+        See :func:`repro.core.persistence.save_index` for the file format.
+        """
+        from .persistence import save_index
+
+        return save_index(self, path)
+
+    @classmethod
+    def load(cls, path, metric: Optional[Metric] = None, device: Optional[Device] = None) -> "GTS":
+        """Load an index previously written by :meth:`save`.
+
+        The metric is re-created from the registry name stored in the archive
+        unless an explicit ``metric`` is given (required for custom metrics).
+        """
+        from .persistence import load_index
+
+        return load_index(path, metric=metric, device=device)
+
+    # ------------------------------------------------------------ cost model
+    def distance_distribution(self, sample_size: int = 128) -> DistanceDistribution:
+        """Estimate the dataset's pairwise-distance distribution (for tuning)."""
+        live = [self._objects[int(i)] for i in self._indexed_ids if int(i) not in self._tombstones]
+        return estimate_distance_distribution(live, self.metric, sample_size=sample_size, rng=self._rng)
+
+    def recommend_node_capacity(
+        self,
+        radius: float,
+        candidates: Sequence[int] = (10, 20, 40, 80, 160, 320),
+        sample_size: int = 128,
+    ) -> int:
+        """Recommend a node capacity for the given query radius (Section 5.3)."""
+        dist = self.distance_distribution(sample_size=sample_size)
+        return recommend_node_capacity(
+            n=self.num_objects,
+            device=self.device.spec,
+            sigma=dist.std,
+            radius=radius,
+            candidates=candidates,
+            metric_unit_cost=self.metric.unit_cost,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        built = "built" if self._tree is not None else "empty"
+        return (
+            f"GTS({built}, objects={self.num_objects}, Nc={self.node_capacity}, "
+            f"metric={self.metric.name!r})"
+        )

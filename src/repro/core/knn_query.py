@@ -1,0 +1,288 @@
+"""Batch metric k-nearest-neighbour query (MkNNQ) over a GTS tree — Algorithm 5.
+
+The batch kNN search follows the same level-synchronous, memory-aware descent
+as the range query but replaces the fixed radius with a per-query running
+bound:
+
+* every pivot met during the descent is a real indexed object, so its
+  distance to the query is a legitimate kNN candidate; the k-th smallest
+  candidate distance seen so far is the query's current bound ``d(q, k_cur)``;
+* a child node is pruned (Lemma 5.2) when every object it can contain is
+  provably at distance ``>= d(q, k_cur)`` from the query, using the child's
+  ``[min_dis, max_dis]`` interval of distances to the parent pivot;
+* at the leaf level all surviving objects are verified and merged with the
+  candidate pool; the k smallest distances are returned.
+
+The result is exact in the usual tie-tolerant sense: the returned distances
+are the true k smallest, and when several objects tie at the k-th distance an
+arbitrary subset of the tied objects completes the answer.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import QueryError
+from ..gpusim.device import Device
+from ..metrics.base import Metric
+from .construction import take_objects
+from .nodes import TreeStructure
+from .searchcommon import (
+    ENTRY_BYTES,
+    RESULT_BYTES,
+    IntermediateTable,
+    PruneMode,
+    level_pair_limit,
+    pivot_distances_per_query,
+    prune_children,
+    split_into_groups,
+)
+
+__all__ = ["batch_knn_query"]
+
+
+class _CandidatePools:
+    """Per-query pools of (object id -> distance) kNN candidates."""
+
+    def __init__(self, num_queries: int, k: np.ndarray):
+        self._pools: list[dict[int, float]] = [dict() for _ in range(num_queries)]
+        self._k = k
+
+    def add(self, query_index: int, obj_id: int, dist: float, exclude: Optional[set]) -> None:
+        if exclude and obj_id in exclude:
+            return
+        pool = self._pools[query_index]
+        prev = pool.get(obj_id)
+        if prev is None or dist < prev:
+            pool[obj_id] = dist
+
+    def add_many(
+        self,
+        query_index: int,
+        obj_ids: np.ndarray,
+        dists: np.ndarray,
+        exclude: Optional[set],
+    ) -> None:
+        for oid, dist in zip(obj_ids, dists):
+            self.add(query_index, int(oid), float(dist), exclude)
+
+    def bound(self, query_index: int) -> float:
+        """Current k-th bound: inf until k distinct candidates are known."""
+        pool = self._pools[query_index]
+        k = int(self._k[query_index])
+        if len(pool) < k:
+            return np.inf
+        dists = sorted(pool.values())
+        return float(dists[k - 1])
+
+    def bounds(self, query_indices: np.ndarray) -> np.ndarray:
+        return np.array([self.bound(int(q)) for q in query_indices], dtype=np.float64)
+
+    def topk(self, query_index: int) -> list[tuple[int, float]]:
+        pool = self._pools[query_index]
+        k = int(self._k[query_index])
+        ranked = sorted(pool.items(), key=lambda item: (item[1], item[0]))
+        return [(int(oid), float(dist)) for oid, dist in ranked[:k]]
+
+
+def _verify_leaves(
+    tree: TreeStructure,
+    objects: Sequence,
+    metric: Metric,
+    device: Device,
+    queries: Sequence,
+    leaf_q: np.ndarray,
+    leaf_node: np.ndarray,
+    exclude: Optional[set],
+    pools: _CandidatePools,
+) -> None:
+    """Verify every object of the surviving leaves against its query."""
+    if len(leaf_q) == 0:
+        return
+    order = np.argsort(leaf_q, kind="stable")
+    sorted_q = leaf_q[order]
+    unique_queries, starts = np.unique(sorted_q, return_index=True)
+    boundaries = list(starts) + [len(order)]
+    total_verified = 0
+    host_start = time.perf_counter()
+    for qi, query_index in enumerate(unique_queries):
+        idx = order[boundaries[qi] : boundaries[qi + 1]]
+        obj_ids = np.concatenate([tree.node_objects(int(n)) for n in leaf_node[idx]])
+        if exclude:
+            obj_ids = obj_ids[~np.isin(obj_ids, list(exclude))]
+        if len(obj_ids) == 0:
+            continue
+        candidates = take_objects(objects, obj_ids)
+        dists = metric.pairwise(queries[int(query_index)], candidates)
+        total_verified += len(obj_ids)
+        pools.add_many(int(query_index), obj_ids, dists, exclude)
+    host = time.perf_counter() - host_start
+    device.launch_kernel(
+        work_items=total_verified,
+        op_cost=metric.unit_cost,
+        label="mknn-verify",
+        host_time=host,
+    )
+    if total_verified:
+        answers = int(sum(pools._k[int(q)] for q in unique_queries))
+        needed = max(answers, 1) * RESULT_BYTES
+        buffer_bytes = min(needed, max(RESULT_BYTES, device.available_bytes))
+        alloc = device.allocate(buffer_bytes, "mknn-results")
+        device.transfer_to_host(needed)
+        device.free(alloc)
+
+
+def _descend(
+    tree: TreeStructure,
+    objects: Sequence,
+    metric: Metric,
+    device: Device,
+    queries: Sequence,
+    layer: int,
+    cand_q: np.ndarray,
+    cand_node: np.ndarray,
+    pivot_dist: np.ndarray,
+    exclude: Optional[set],
+    mode: PruneMode,
+    pools: _CandidatePools,
+) -> None:
+    """Recursive per-level expansion (the Knn_Q function of Algorithm 5)."""
+    if len(cand_q) == 0:
+        return
+    if tree.is_leaf_level(layer):
+        _verify_leaves(
+            tree, objects, metric, device, queries, cand_q, cand_node, exclude, pools
+        )
+        return
+
+    limit_pairs = level_pair_limit(device, tree.height, layer, tree.node_capacity)
+    if len(cand_q) > limit_pairs:
+        for group in split_into_groups(cand_q, limit_pairs):
+            _descend(
+                tree,
+                objects,
+                metric,
+                device,
+                queries,
+                layer,
+                cand_q[group],
+                cand_node[group],
+                pivot_dist[group],
+                exclude,
+                mode,
+                pools,
+            )
+        return
+
+    projected = len(cand_q) * tree.node_capacity
+    with IntermediateTable(device, projected, label=f"mknn-level-{layer + 1}"):
+        # Current per-pair bound d(q, k_cur); Lemma 5.2 prunes children whose
+        # whole distance interval lies at or beyond the bound.
+        bounds = pools.bounds(cand_q)
+        # The device sorts the candidate distances per query to locate the
+        # k-th bound (Algorithm 5 lines 11-12); charge that selection.
+        device.launch_kernel(work_items=len(cand_q), op_cost=4.0, label="mknn-kth-bound")
+        pair_index, child_ids = prune_children(
+            tree, cand_node, pivot_dist, bounds, bounds, mode, device
+        )
+        next_q = cand_q[pair_index]
+
+        if tree.is_leaf_level(layer + 1):
+            next_pivot_dist = np.zeros(len(child_ids), dtype=np.float64)
+        else:
+            pivots = tree.pivot[child_ids]
+            next_pivot_dist = pivot_distances_per_query(
+                device, metric, objects, queries, next_q, pivots
+            )
+            for qi, pid, dist in zip(next_q, pivots, next_pivot_dist):
+                pools.add(int(qi), int(pid), float(dist), exclude)
+
+        _descend(
+            tree,
+            objects,
+            metric,
+            device,
+            queries,
+            layer + 1,
+            next_q,
+            child_ids,
+            next_pivot_dist,
+            exclude,
+            mode,
+            pools,
+        )
+
+
+def batch_knn_query(
+    tree: TreeStructure,
+    objects: Sequence,
+    metric: Metric,
+    device: Device,
+    queries: Sequence,
+    k,
+    exclude: Optional[set] = None,
+    prune_mode: str | PruneMode = "two-sided",
+) -> list[list[tuple[int, float]]]:
+    """Answer a batch of metric k-nearest-neighbour queries exactly.
+
+    Parameters
+    ----------
+    queries:
+        The query objects.
+    k:
+        A single ``k`` shared by all queries or one per query.
+    exclude:
+        Object ids to ignore (tombstoned deletions).
+    prune_mode:
+        ``"two-sided"`` (default) or ``"one-sided"`` (ablation).
+
+    Returns
+    -------
+    One list per query of ``(object_id, distance)`` pairs, sorted by distance
+    then id, of length ``min(k, number of visible objects)``.
+    """
+    num_queries = len(queries)
+    k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (num_queries,)).copy()
+    if np.any(k_arr <= 0):
+        raise QueryError("k must be positive for a kNN query")
+    mode = prune_mode if isinstance(prune_mode, PruneMode) else PruneMode.from_name(prune_mode)
+
+    if num_queries == 0 or tree.num_objects == 0:
+        return [[] for _ in range(num_queries)]
+
+    device.transfer_to_device(num_queries * ENTRY_BYTES)
+
+    pools = _CandidatePools(num_queries, k_arr)
+    cand_q = np.arange(num_queries, dtype=np.int64)
+    cand_node = np.zeros(num_queries, dtype=np.int64)
+
+    if tree.height == 0:
+        pivot_dist = np.zeros(num_queries, dtype=np.float64)
+    else:
+        root_pivots = np.full(num_queries, tree.pivot[0], dtype=np.int64)
+        pivot_dist = pivot_distances_per_query(
+            device, metric, objects, queries, cand_q, root_pivots
+        )
+        root_pivot = int(tree.pivot[0])
+        for qi in cand_q:
+            pools.add(int(qi), root_pivot, float(pivot_dist[int(qi)]), exclude)
+
+    _descend(
+        tree,
+        objects,
+        metric,
+        device,
+        queries,
+        0,
+        cand_q,
+        cand_node,
+        pivot_dist,
+        exclude,
+        mode,
+        pools,
+    )
+
+    return [pools.topk(qi) for qi in range(num_queries)]

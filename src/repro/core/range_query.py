@@ -1,0 +1,267 @@
+"""Batch metric range query (MRQ) over a GTS tree — Algorithm 4.
+
+Given a batch of ``(query, radius)`` pairs the algorithm walks the tree one
+level at a time for *all* queries simultaneously:
+
+1. each live (query, node) pair knows ``d(q, N.pivot)``;
+2. every child of every candidate node is tested against Lemma 5.1 in one
+   kernel — a child survives when the query ball ``[d(q,p)-r, d(q,p)+r]``
+   intersects the child's ``[min_dis, max_dis]`` interval of distances to the
+   parent pivot;
+3. surviving internal children get their own pivot distance computed (one
+   kernel, grouped per query) and become the next level's candidates;
+   surviving leaves go to verification;
+4. before expanding a level, the projected intermediate-table size is checked
+   against the per-level memory limit; if it does not fit the query batch is
+   split into groups processed sequentially (the two-stage strategy).
+
+Verification computes the real distances of every object in the surviving
+leaves and keeps those within the radius.  Results are exact.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import QueryError
+from ..gpusim.device import Device
+from ..metrics.base import Metric
+from .construction import take_objects
+from .nodes import NO_PIVOT, TreeStructure
+from .searchcommon import (
+    ENTRY_BYTES,
+    RESULT_BYTES,
+    IntermediateTable,
+    PruneMode,
+    level_pair_limit,
+    pivot_distances_per_query,
+    prune_children,
+    split_into_groups,
+)
+
+__all__ = ["batch_range_query"]
+
+
+def _verify_leaves(
+    tree: TreeStructure,
+    objects: Sequence,
+    metric: Metric,
+    device: Device,
+    queries: Sequence,
+    radii: np.ndarray,
+    leaf_q: np.ndarray,
+    leaf_node: np.ndarray,
+    exclude: Optional[set],
+    results: list[dict],
+) -> None:
+    """Compute real distances for every object in the surviving leaves."""
+    if len(leaf_q) == 0:
+        return
+    order = np.argsort(leaf_q, kind="stable")
+    sorted_q = leaf_q[order]
+    unique_queries, starts = np.unique(sorted_q, return_index=True)
+    boundaries = list(starts) + [len(order)]
+    total_verified = 0
+    host_start = time.perf_counter()
+    total_hits = 0
+    for qi, query_index in enumerate(unique_queries):
+        idx = order[boundaries[qi] : boundaries[qi + 1]]
+        obj_ids = np.concatenate([tree.node_objects(int(n)) for n in leaf_node[idx]])
+        if exclude:
+            obj_ids = obj_ids[~np.isin(obj_ids, list(exclude))]
+        if len(obj_ids) == 0:
+            continue
+        candidates = take_objects(objects, obj_ids)
+        dists = metric.pairwise(queries[int(query_index)], candidates)
+        total_verified += len(obj_ids)
+        r = radii[int(query_index)]
+        hit = dists <= r
+        total_hits += int(hit.sum())
+        bucket = results[int(query_index)]
+        for oid, dist in zip(obj_ids[hit], dists[hit]):
+            bucket[int(oid)] = float(dist)
+    host = time.perf_counter() - host_start
+    device.launch_kernel(
+        work_items=total_verified,
+        op_cost=metric.unit_cost,
+        label="mrq-verify",
+        host_time=host,
+    )
+    # result buffer for the qualifying answers only; results are streamed back
+    # to the host in chunks, so the buffer never needs to exceed the memory
+    # that is still available on the device
+    if total_hits:
+        buffer_bytes = min(total_hits * RESULT_BYTES, max(RESULT_BYTES, device.available_bytes))
+        alloc = device.allocate(buffer_bytes, "mrq-results")
+        device.transfer_to_host(total_hits * RESULT_BYTES)
+        device.free(alloc)
+
+
+def _descend(
+    tree: TreeStructure,
+    objects: Sequence,
+    metric: Metric,
+    device: Device,
+    queries: Sequence,
+    radii: np.ndarray,
+    layer: int,
+    cand_q: np.ndarray,
+    cand_node: np.ndarray,
+    pivot_dist: np.ndarray,
+    exclude: Optional[set],
+    mode: PruneMode,
+    results: list[dict],
+) -> None:
+    """Recursive per-level expansion (the Range_Q function of Algorithm 4)."""
+    if len(cand_q) == 0:
+        return
+    if tree.is_leaf_level(layer):
+        _verify_leaves(
+            tree, objects, metric, device, queries, radii, cand_q, cand_node, exclude, results
+        )
+        return
+
+    # Two-stage memory strategy: split the batch when the projected
+    # intermediate table would exceed the per-level limit.
+    limit_pairs = level_pair_limit(device, tree.height, layer, tree.node_capacity)
+    if len(cand_q) > limit_pairs:
+        for group in split_into_groups(cand_q, limit_pairs):
+            _descend(
+                tree,
+                objects,
+                metric,
+                device,
+                queries,
+                radii,
+                layer,
+                cand_q[group],
+                cand_node[group],
+                pivot_dist[group],
+                exclude,
+                mode,
+                results,
+            )
+        return
+
+    projected = len(cand_q) * tree.node_capacity
+    with IntermediateTable(device, projected, label=f"mrq-level-{layer + 1}"):
+        r = radii[cand_q]
+        pair_index, child_ids = prune_children(
+            tree, cand_node, pivot_dist, r, r, mode, device
+        )
+        next_q = cand_q[pair_index]
+
+        if tree.is_leaf_level(layer + 1):
+            next_pivot_dist = np.zeros(len(child_ids), dtype=np.float64)
+        else:
+            pivots = tree.pivot[child_ids]
+            next_pivot_dist = pivot_distances_per_query(
+                device, metric, objects, queries, next_q, pivots
+            )
+            # A pivot is itself an indexed object: report it when it qualifies.
+            within = next_pivot_dist <= radii[next_q]
+            for qi, pid, dist in zip(
+                next_q[within], pivots[within], next_pivot_dist[within]
+            ):
+                if not exclude or int(pid) not in exclude:
+                    results[int(qi)][int(pid)] = float(dist)
+
+        _descend(
+            tree,
+            objects,
+            metric,
+            device,
+            queries,
+            radii,
+            layer + 1,
+            next_q,
+            child_ids,
+            next_pivot_dist,
+            exclude,
+            mode,
+            results,
+        )
+
+
+def batch_range_query(
+    tree: TreeStructure,
+    objects: Sequence,
+    metric: Metric,
+    device: Device,
+    queries: Sequence,
+    radii,
+    exclude: Optional[set] = None,
+    prune_mode: str | PruneMode = "two-sided",
+) -> list[list[tuple[int, float]]]:
+    """Answer a batch of metric range queries exactly.
+
+    Parameters
+    ----------
+    queries:
+        The query objects (same domain as the indexed objects).
+    radii:
+        A scalar radius shared by all queries or one radius per query.
+    exclude:
+        Object ids to ignore (tombstoned deletions).
+    prune_mode:
+        ``"two-sided"`` (default) or ``"one-sided"`` (paper-literal ablation).
+
+    Returns
+    -------
+    One result list per query: ``(object_id, distance)`` pairs sorted by
+    distance then id, all within the query's radius.
+    """
+    num_queries = len(queries)
+    radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (num_queries,)).copy()
+    if np.any(radii_arr < 0):
+        raise QueryError("range query radius must be non-negative")
+    mode = prune_mode if isinstance(prune_mode, PruneMode) else PruneMode.from_name(prune_mode)
+
+    results: list[dict] = [dict() for _ in range(num_queries)]
+    if num_queries == 0 or tree.num_objects == 0:
+        return [[] for _ in range(num_queries)]
+
+    # Load the queries onto the device (Section 5.1: queries are copied from
+    # the CPU to the GPU before processing).
+    device.transfer_to_device(num_queries * ENTRY_BYTES)
+
+    cand_q = np.arange(num_queries, dtype=np.int64)
+    cand_node = np.zeros(num_queries, dtype=np.int64)
+
+    if tree.height == 0:
+        # Degenerate tree: the root is the single (over-full) leaf.
+        pivot_dist = np.zeros(num_queries, dtype=np.float64)
+    else:
+        root_pivots = np.full(num_queries, tree.pivot[0], dtype=np.int64)
+        pivot_dist = pivot_distances_per_query(
+            device, metric, objects, queries, cand_q, root_pivots
+        )
+        within = pivot_dist <= radii_arr
+        root_pivot = int(tree.pivot[0])
+        if not exclude or root_pivot not in exclude:
+            for qi in cand_q[within]:
+                results[int(qi)][root_pivot] = float(pivot_dist[int(qi)])
+
+    _descend(
+        tree,
+        objects,
+        metric,
+        device,
+        queries,
+        radii_arr,
+        0,
+        cand_q,
+        cand_node,
+        pivot_dist,
+        exclude,
+        mode,
+        results,
+    )
+
+    out: list[list[tuple[int, float]]] = []
+    for bucket in results:
+        out.append(sorted(bucket.items(), key=lambda item: (item[1], item[0])))
+    return out

@@ -1,0 +1,233 @@
+"""Shared machinery of the batch MRQ / MkNNQ algorithms.
+
+Both query algorithms (Sections 5.1 and 5.2) share three ingredients:
+
+* computing the distances from each query to the pivots of its candidate
+  nodes — grouped per query so each call hits the metric's vectorised path;
+* the **two-stage memory strategy**: before a level is expanded, the size of
+  the next intermediate-result table is compared with the per-level memory
+  limit ``size_GPU / ((h - layer + 1) * Nc)``; when it does not fit, the query
+  batch is divided into groups processed sequentially;
+* tracking intermediate-result allocations on the simulated device so that
+  memory pressure has observable consequences.
+
+The helpers here are pure functions over NumPy arrays, which keeps the two
+query modules small and the behaviour property-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import MemoryDeadlockError, QueryError
+from ..gpusim.device import Device
+from ..gpusim.kernels import distance_kernel
+from ..metrics.base import Metric
+from .construction import take_objects
+from .nodes import TreeStructure
+
+__all__ = [
+    "ENTRY_BYTES",
+    "PruneMode",
+    "level_pair_limit",
+    "split_into_groups",
+    "pivot_distances_per_query",
+    "prune_children",
+    "IntermediateTable",
+]
+
+#: Simulated size of one intermediate-result entry ``{node, query, bound}``.
+ENTRY_BYTES = 32
+
+#: Simulated size of one verified-result slot ``{object, distance}``.
+RESULT_BYTES = 16
+
+
+@dataclass(frozen=True)
+class PruneMode:
+    """Which side(s) of the distance interval the pruning rule uses.
+
+    ``two_sided`` (default) prunes a child when the query ball misses the
+    child's ``[min_dis, max_dis]`` interval from either side.  ``one_sided``
+    reproduces the paper's literal statement, which only uses ``min_dis``
+    (``d(q, p) + r < min_dis``); it is kept for the ablation benchmark.
+    """
+
+    two_sided: bool = True
+
+    @classmethod
+    def from_name(cls, name: str) -> "PruneMode":
+        key = name.strip().lower().replace("_", "-")
+        if key in ("two-sided", "both", "default"):
+            return cls(two_sided=True)
+        if key in ("one-sided", "paper", "min-only"):
+            return cls(two_sided=False)
+        raise QueryError(f"unknown prune mode {name!r}")
+
+
+def level_pair_limit(device: Device, height: int, layer: int, node_capacity: int) -> int:
+    """Maximum number of candidate (query, node) pairs expandable at ``layer``.
+
+    Derived from the paper's per-level limit ``size_GPU / ((h - layer + 1) * Nc)``
+    with ``size_GPU`` taken as the *currently available* device memory, so an
+    index (or other tenants) already resident on the device shrinks the
+    budget, as it would on real hardware.
+    """
+    levels_left = max(1, height - layer + 1)
+    budget = device.available_bytes // (levels_left * max(node_capacity, 1) * ENTRY_BYTES)
+    return max(1, int(budget))
+
+
+def split_into_groups(
+    cand_query: np.ndarray, limit_pairs: int
+) -> list[np.ndarray]:
+    """Split candidate pair indices into groups of at most ``limit_pairs`` pairs.
+
+    Pairs of the same query are kept together whenever a single query fits
+    within the limit (the paper divides *queries* into groups); a query whose
+    own candidate list exceeds the limit is chunked on its own, which keeps
+    the search correct (range/kNN candidate sets are unions) while bounding
+    memory.
+    Returns a list of index arrays into the pair arrays.
+    """
+    if limit_pairs <= 0:
+        raise QueryError("limit_pairs must be positive")
+    order = np.argsort(cand_query, kind="stable")
+    groups: list[list[int]] = []
+    current: list[int] = []
+    # walk pairs grouped by query id
+    unique_queries, starts = np.unique(cand_query[order], return_index=True)
+    boundaries = list(starts) + [len(order)]
+    for qi in range(len(unique_queries)):
+        idx = order[boundaries[qi] : boundaries[qi + 1]]
+        if len(idx) > limit_pairs:
+            # flush current, then chunk this oversized query on its own
+            if current:
+                groups.append(current)
+                current = []
+            for start in range(0, len(idx), limit_pairs):
+                groups.append(list(idx[start : start + limit_pairs]))
+            continue
+        if len(current) + len(idx) > limit_pairs and current:
+            groups.append(current)
+            current = []
+        current.extend(idx.tolist())
+    if current:
+        groups.append(current)
+    return [np.asarray(g, dtype=np.int64) for g in groups]
+
+
+def pivot_distances_per_query(
+    device: Device,
+    metric: Metric,
+    objects: Sequence,
+    queries: Sequence,
+    cand_query: np.ndarray,
+    pivot_ids: np.ndarray,
+) -> np.ndarray:
+    """Distance from each candidate pair's query to the pair's node pivot.
+
+    The pairs are grouped by query index so that each query issues a single
+    vectorised ``pairwise`` call; device time is charged as one level-wide
+    kernel over all pairs (this is the paper's "compute the distances of all
+    nodes at the level simultaneously").
+    """
+    out = np.empty(len(cand_query), dtype=np.float64)
+    if len(cand_query) == 0:
+        return out
+    order = np.argsort(cand_query, kind="stable")
+    sorted_q = cand_query[order]
+    unique_queries, starts = np.unique(sorted_q, return_index=True)
+    boundaries = list(starts) + [len(order)]
+    import time as _time
+
+    host_start = _time.perf_counter()
+    for qi, query_index in enumerate(unique_queries):
+        idx = order[boundaries[qi] : boundaries[qi + 1]]
+        pivots = take_objects(objects, pivot_ids[idx])
+        out[idx] = metric.pairwise(queries[int(query_index)], pivots)
+    host = _time.perf_counter() - host_start
+    device.launch_kernel(
+        work_items=len(cand_query),
+        op_cost=metric.unit_cost,
+        label="pivot-distances",
+        host_time=host,
+    )
+    return out
+
+
+def prune_children(
+    tree: TreeStructure,
+    cand_node: np.ndarray,
+    pivot_dist: np.ndarray,
+    lower_allowance: np.ndarray,
+    upper_allowance: np.ndarray,
+    mode: PruneMode,
+    device: Device,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply Lemma 5.1 / 5.2 to every child of every candidate node at once.
+
+    Parameters
+    ----------
+    cand_node:
+        Candidate node ids (all at the same level), one per pair.
+    pivot_dist:
+        ``d(q, N.pivot)`` for each pair.
+    lower_allowance / upper_allowance:
+        Per-pair slack on each side of the interval test.  For MRQ both equal
+        the radius ``r`` and the comparison is strict (Lemma 5.1 prunes when
+        ``|d(o,p) - d(q,p)| > r``); for MkNNQ both equal the current k-th
+        bound and the lemma's ``>=`` is obtained by shrinking the allowance
+        by an epsilon at the call site.
+
+    Returns
+    -------
+    (pair_index, child_id):
+        Arrays describing the surviving (pair, child) combinations; the pair
+        index refers back to the positions in ``cand_node``.
+    """
+    nc = tree.node_capacity
+    if len(cand_node) == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    child_ids = cand_node[:, None] * nc + 1 + np.arange(nc, dtype=np.int64)[None, :]
+    sizes = tree.size[child_ids]
+    lb = tree.min_dis[child_ids]
+    ub = tree.max_dis[child_ids]
+    d = pivot_dist[:, None]
+    keep = sizes > 0
+    keep &= d + upper_allowance[:, None] >= lb
+    if mode.two_sided:
+        keep &= d - lower_allowance[:, None] <= ub
+    device.launch_kernel(work_items=child_ids.size, op_cost=2.0, label="prune-children")
+    pair_index, child_col = np.nonzero(keep)
+    return pair_index.astype(np.int64), child_ids[pair_index, child_col].astype(np.int64)
+
+
+class IntermediateTable:
+    """RAII-style allocation of the per-level intermediate result table.
+
+    Raises :class:`MemoryDeadlockError` when the allocation cannot be
+    satisfied — the exact failure mode the paper ascribes to prior GPU tree
+    indexes; GTS itself avoids it through :func:`level_pair_limit` grouping,
+    so within GTS this error indicates the device is too small to hold even
+    one query group (which the tests exercise explicitly).
+    """
+
+    def __init__(self, device: Device, entries: int, label: str = "intermediate"):
+        self._device = device
+        try:
+            self._allocation = device.allocate(int(entries) * ENTRY_BYTES, label)
+        except Exception as exc:  # DeviceMemoryError
+            raise MemoryDeadlockError(
+                f"cannot allocate intermediate table of {entries} entries: {exc}"
+            ) from exc
+
+    def __enter__(self) -> "IntermediateTable":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._device.free(self._allocation)

@@ -1,0 +1,59 @@
+"""Synthetic stand-ins for the paper's five evaluation datasets."""
+
+from typing import Callable, Dict
+
+from ..exceptions import DatasetError
+from .base import Dataset, make_duplicates
+from .generators import (
+    DEFAULT_CARDINALITIES,
+    generate_color,
+    generate_dna,
+    generate_tloc,
+    generate_vector,
+    generate_words,
+)
+
+__all__ = [
+    "Dataset",
+    "make_duplicates",
+    "generate_words",
+    "generate_tloc",
+    "generate_vector",
+    "generate_dna",
+    "generate_color",
+    "DEFAULT_CARDINALITIES",
+    "DATASET_REGISTRY",
+    "get_dataset",
+    "available_datasets",
+]
+
+#: Name-based registry used by the evaluation harness and the benchmarks.
+DATASET_REGISTRY: Dict[str, Callable[..., Dataset]] = {
+    "words": generate_words,
+    "tloc": generate_tloc,
+    "vector": generate_vector,
+    "dna": generate_dna,
+    "color": generate_color,
+}
+
+
+def available_datasets() -> list[str]:
+    """Return the registered dataset names in the paper's order."""
+    return list(DATASET_REGISTRY)
+
+
+def get_dataset(name: str, cardinality: int | None = None, seed: int | None = None) -> Dataset:
+    """Generate the dataset registered under ``name``."""
+    key = name.strip().lower()
+    try:
+        factory = DATASET_REGISTRY[key]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        ) from None
+    kwargs = {}
+    if cardinality is not None:
+        kwargs["cardinality"] = cardinality
+    if seed is not None:
+        kwargs["seed"] = seed
+    return factory(**kwargs)

@@ -1,0 +1,223 @@
+"""Synthetic generators standing in for the paper's five real datasets.
+
+| Paper dataset | Cardinality (paper) | Metric            | Stand-in generator            |
+|---------------|---------------------|-------------------|-------------------------------|
+| Words         | 611,756             | edit distance     | :func:`generate_words`        |
+| T-Loc         | 10,000,000          | L2 norm (2-d)     | :func:`generate_tloc`         |
+| Vector        | 200,000             | word cosine (300-d)| :func:`generate_vector`      |
+| DNA           | 1,000,000           | edit distance (~108)| :func:`generate_dna`        |
+| Color         | 5,000,000           | L1 norm (282-d)   | :func:`generate_color`        |
+
+The defaults are scaled down (DESIGN.md §2) but keep the paper's *relative*
+sizes — T-Loc largest, Vector smallest among the vector sets — along with the
+metric, dimensionality and clustered structure that drive index behaviour.
+Every generator is a deterministic function of ``(cardinality, seed)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..metrics.string import EditDistance
+from ..metrics.vector import AngularDistance, EuclideanDistance, ManhattanDistance
+from .base import Dataset
+
+__all__ = [
+    "generate_words",
+    "generate_tloc",
+    "generate_vector",
+    "generate_dna",
+    "generate_color",
+    "DEFAULT_CARDINALITIES",
+]
+
+#: Default scaled-down cardinalities, preserving the paper's size ordering
+#: (T-Loc > Color > DNA ≈ Words > Vector after scaling).
+DEFAULT_CARDINALITIES = {
+    "words": 4000,
+    "tloc": 20000,
+    "vector": 1500,
+    "dna": 600,
+    "color": 5000,
+}
+
+_LETTERS = np.array(list("abcdefghijklmnopqrstuvwxyz"))
+_DNA_BASES = np.array(list("ACGT"))
+
+
+def _check_cardinality(n: int) -> None:
+    if n <= 1:
+        raise DatasetError(f"cardinality must be at least 2, got {n}")
+
+
+def generate_words(cardinality: int | None = None, seed: int = 101) -> Dataset:
+    """English-like words (length 1-34, Zipf-ish), compared with edit distance.
+
+    Words are built from a pool of common "roots" plus prefixes/suffixes so
+    that — like the Moby corpus — many words share long substrings and the
+    edit-distance distribution has a dense near range.
+    """
+    n = DEFAULT_CARDINALITIES["words"] if cardinality is None else int(cardinality)
+    _check_cardinality(n)
+    rng = np.random.default_rng(seed)
+    num_roots = max(8, n // 40)
+    root_lengths = np.clip(rng.integers(2, 26, size=num_roots), 2, 26)
+    roots = ["".join(rng.choice(_LETTERS, size=int(length))) for length in root_lengths]
+    suffixes = ["", "s", "ed", "ing", "er", "ly", "ness", "tion", "al", "ic"]
+    prefixes = ["", "", "", "un", "re", "pre", "non", "anti"]
+    words = []
+    for _ in range(n):
+        root = roots[int(rng.integers(0, num_roots))]
+        word = prefixes[int(rng.integers(0, len(prefixes)))] + root
+        word += suffixes[int(rng.integers(0, len(suffixes)))]
+        # occasional random mutation to diversify lengths up to ~34
+        if rng.random() < 0.15:
+            extra = "".join(rng.choice(_LETTERS, size=int(rng.integers(1, 12))))
+            word += extra
+        words.append(word[:34])
+    return Dataset(
+        name="words",
+        objects=words,
+        metric=EditDistance(expected_length=8),
+        seed=seed,
+        description="Synthetic stand-in for the Moby Words corpus (edit distance)",
+        paper_cardinality=611_756,
+        dimensionality=34,
+    )
+
+
+def generate_tloc(cardinality: int | None = None, seed: int = 102) -> Dataset:
+    """2-d geo-locations (clustered around cities), compared with the L2 norm.
+
+    Twitter-user locations cluster heavily around urban centres; the stand-in
+    draws points from a mixture of anisotropic Gaussians plus a uniform
+    background, in degree-like coordinates.
+    """
+    n = DEFAULT_CARDINALITIES["tloc"] if cardinality is None else int(cardinality)
+    _check_cardinality(n)
+    rng = np.random.default_rng(seed)
+    num_cities = 24
+    centers = np.column_stack(
+        [rng.uniform(-180, 180, size=num_cities), rng.uniform(-60, 70, size=num_cities)]
+    )
+    weights = rng.dirichlet(np.full(num_cities, 0.6))
+    assignment = rng.choice(num_cities, size=n, p=weights)
+    spread = rng.uniform(0.2, 3.0, size=num_cities)
+    points = centers[assignment] + rng.normal(0, 1, size=(n, 2)) * spread[assignment][:, None]
+    background = rng.random(n) < 0.05
+    points[background] = np.column_stack(
+        [rng.uniform(-180, 180, size=int(background.sum())),
+         rng.uniform(-90, 90, size=int(background.sum()))]
+    )
+    return Dataset(
+        name="tloc",
+        objects=points,
+        metric=EuclideanDistance(),
+        seed=seed,
+        description="Synthetic stand-in for the T-Loc Twitter locations (L2 norm)",
+        paper_cardinality=10_000_000,
+        dimensionality=2,
+    )
+
+
+def generate_vector(cardinality: int | None = None, seed: int = 103, dim: int = 300) -> Dataset:
+    """300-d word-embedding-like vectors, compared with angular (word cosine) distance.
+
+    Embeddings live near a low-dimensional manifold: the stand-in mixes a few
+    dominant latent directions with isotropic noise and normalises to unit
+    length, giving the anisotropic angular-distance distribution typical of
+    word2vec-style embeddings.
+    """
+    n = DEFAULT_CARDINALITIES["vector"] if cardinality is None else int(cardinality)
+    _check_cardinality(n)
+    rng = np.random.default_rng(seed)
+    latent_dim = 8
+    basis = rng.normal(size=(latent_dim, dim))
+    codes = rng.normal(size=(n, latent_dim)) * rng.uniform(0.5, 2.0, size=latent_dim)
+    vectors = codes @ basis + 0.15 * rng.normal(size=(n, dim))
+    vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+    return Dataset(
+        name="vector",
+        objects=vectors,
+        metric=AngularDistance(),
+        seed=seed,
+        description="Synthetic stand-in for Spanish-billion-words embeddings (word cosine)",
+        paper_cardinality=200_000,
+        dimensionality=dim,
+    )
+
+
+def generate_dna(cardinality: int | None = None, seed: int = 104, length: int = 108) -> Dataset:
+    """DNA reads (~108 bases) derived from a few reference motifs, edit distance.
+
+    Real sequencing reads are mutated copies of reference regions; the
+    stand-in mutates (substitutes / inserts / deletes) a handful of reference
+    strings so that near-duplicates at small edit distances exist, exactly
+    the regime where metric pruning matters.
+    """
+    n = DEFAULT_CARDINALITIES["dna"] if cardinality is None else int(cardinality)
+    _check_cardinality(n)
+    rng = np.random.default_rng(seed)
+    num_refs = max(4, n // 100)
+    references = ["".join(rng.choice(_DNA_BASES, size=length)) for _ in range(num_refs)]
+    reads = []
+    for _ in range(n):
+        ref = list(references[int(rng.integers(0, num_refs))])
+        num_mutations = int(rng.integers(0, max(2, length // 10)))
+        for _ in range(num_mutations):
+            op = int(rng.integers(0, 3))
+            pos = int(rng.integers(0, len(ref)))
+            base = str(rng.choice(_DNA_BASES))
+            if op == 0:
+                ref[pos] = base
+            elif op == 1 and len(ref) < length + 8:
+                ref.insert(pos, base)
+            elif len(ref) > 4:
+                del ref[pos]
+        reads.append("".join(ref))
+    return Dataset(
+        name="dna",
+        objects=reads,
+        metric=EditDistance(expected_length=length),
+        seed=seed,
+        description="Synthetic stand-in for NCBI DNA reads (edit distance)",
+        paper_cardinality=1_000_000,
+        dimensionality=length,
+    )
+
+
+def generate_color(cardinality: int | None = None, seed: int = 105, dim: int = 282) -> Dataset:
+    """282-d image colour-feature histograms, compared with the L1 norm.
+
+    Image features are sparse, non-negative histograms; the stand-in draws
+    Dirichlet histograms from a handful of "scene types" so that clusters of
+    visually similar images exist.
+    """
+    n = DEFAULT_CARDINALITIES["color"] if cardinality is None else int(cardinality)
+    _check_cardinality(n)
+    rng = np.random.default_rng(seed)
+    num_scenes = 16
+    # every point is a blend of its scene's centre histogram and an individual
+    # sample: intra-scene L1 distances stay small while inter-scene distances
+    # spread out with the distance between scene centres, giving the pivot
+    # pruning a usable signal (unlike fully disjoint supports, whose pairwise
+    # distances all concentrate at the maximum)
+    shared = rng.dirichlet(np.full(dim, 0.15))
+    centers = np.stack([
+        0.5 * shared + 0.5 * rng.dirichlet(np.full(dim, rng.uniform(0.05, 0.4)))
+        for _ in range(num_scenes)
+    ])
+    assignment = rng.integers(0, num_scenes, size=n)
+    blend = rng.uniform(0.55, 0.85, size=n)[:, None]
+    individual = rng.dirichlet(np.full(dim, 0.2), size=n)
+    features = blend * centers[assignment] + (1.0 - blend) * individual
+    return Dataset(
+        name="color",
+        objects=features,
+        metric=ManhattanDistance(),
+        seed=seed,
+        description="Synthetic stand-in for Flickr colour features (L1 norm)",
+        paper_cardinality=5_000_000,
+        dimensionality=dim,
+    )

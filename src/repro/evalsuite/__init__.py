@@ -1,0 +1,79 @@
+"""Evaluation harness: workloads, runners, experiments and reporting.
+
+Every table and figure of the paper's Section 6 has a matching
+``experiment_*`` function here; the ``benchmarks/`` directory wraps them in
+pytest-benchmark targets.
+"""
+
+from .extensions import experiment_approximate_tradeoff, experiment_extended_baselines
+from .experiments import (
+    ALL_METHODS,
+    GENERAL_METHODS,
+    PAPER_DATASETS,
+    SPECIAL_METHODS,
+    ablation_cost_model,
+    ablation_prune_and_pivot,
+    ablation_two_stage,
+    experiment_fig5_updates,
+    experiment_fig6_node_capacity,
+    experiment_fig7_radius_and_k,
+    experiment_fig8_gpu_memory,
+    experiment_fig9_batch_size,
+    experiment_fig10_identical_objects,
+    experiment_fig11_cardinality,
+    experiment_table4_construction,
+    experiment_table5_cache_size,
+)
+from .reporting import ExperimentResult, format_bytes, format_seconds, format_table, format_throughput, rows_to_csv
+from .runner import STATUS_OK, STATUS_OOM, STATUS_UNSUPPORTED, MethodResult, MethodRunner, compute_recall
+from .workloads import (
+    PAPER_BATCH_SIZES,
+    PAPER_K_VALUES,
+    PAPER_NODE_CAPACITIES,
+    PAPER_RADIUS_STEPS,
+    Workload,
+    make_workload,
+    radius_for_selectivity,
+    sample_pairwise_distances,
+)
+
+__all__ = [
+    "MethodRunner",
+    "MethodResult",
+    "compute_recall",
+    "STATUS_OK",
+    "STATUS_OOM",
+    "STATUS_UNSUPPORTED",
+    "ExperimentResult",
+    "format_table",
+    "format_bytes",
+    "format_seconds",
+    "format_throughput",
+    "rows_to_csv",
+    "Workload",
+    "make_workload",
+    "radius_for_selectivity",
+    "sample_pairwise_distances",
+    "PAPER_RADIUS_STEPS",
+    "PAPER_K_VALUES",
+    "PAPER_BATCH_SIZES",
+    "PAPER_NODE_CAPACITIES",
+    "PAPER_DATASETS",
+    "GENERAL_METHODS",
+    "SPECIAL_METHODS",
+    "ALL_METHODS",
+    "experiment_extended_baselines",
+    "experiment_approximate_tradeoff",
+    "experiment_table4_construction",
+    "experiment_table5_cache_size",
+    "experiment_fig5_updates",
+    "experiment_fig6_node_capacity",
+    "experiment_fig7_radius_and_k",
+    "experiment_fig8_gpu_memory",
+    "experiment_fig9_batch_size",
+    "experiment_fig10_identical_objects",
+    "experiment_fig11_cardinality",
+    "ablation_cost_model",
+    "ablation_prune_and_pivot",
+    "ablation_two_stage",
+]

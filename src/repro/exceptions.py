@@ -1,0 +1,80 @@
+"""Exception hierarchy for the GTS reproduction library.
+
+All errors raised by ``repro`` derive from :class:`ReproError` so that callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class MetricError(ReproError):
+    """A distance metric was misused (wrong object type, bad arguments)."""
+
+
+class DeviceError(ReproError):
+    """Base class for simulated-GPU failures."""
+
+
+class DeviceMemoryError(DeviceError):
+    """The simulated device ran out of memory during an allocation."""
+
+    def __init__(self, requested: int, available: int, capacity: int):
+        self.requested = int(requested)
+        self.available = int(available)
+        self.capacity = int(capacity)
+        super().__init__(
+            f"device out of memory: requested {requested} bytes, "
+            f"available {available} of {capacity}"
+        )
+
+
+class MemoryDeadlockError(DeviceError):
+    """A batch query exhausted device memory mid-traversal and cannot proceed.
+
+    This mirrors the "memory deadlock" failure mode the paper attributes to
+    prior GPU tree indexes (Section 1, Challenge II and Fig. 9): intermediate
+    results fill the device and none of them can be released to make room for
+    the next level of the traversal.
+    """
+
+
+class KernelError(DeviceError):
+    """A simulated kernel was launched with inconsistent arguments."""
+
+
+class IndexError_(ReproError):
+    """The GTS index is in an invalid state or was queried before being built."""
+
+
+class ConstructionError(IndexError_):
+    """Index construction failed (empty dataset, bad node capacity, ...)."""
+
+
+class UpdateError(IndexError_):
+    """A streaming or batch update could not be applied."""
+
+
+class QueryError(ReproError):
+    """A similarity query was issued with invalid parameters."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator or loader received invalid parameters."""
+
+
+class BaselineError(ReproError):
+    """A baseline index failed (unsupported metric, memory exhaustion, ...)."""
+
+
+class UnsupportedMetricError(BaselineError):
+    """A special-purpose baseline was asked to index a metric it cannot handle.
+
+    The paper's LBPG-Tree supports only Lp-norm vector data and GANNS only
+    vector data; asking them to index strings raises this error, matching the
+    "/" (not applicable) entries of Table 4.
+    """

@@ -1,0 +1,46 @@
+"""Simulated GPU execution substrate.
+
+The paper evaluates GTS on a physical NVIDIA RTX 2080 Ti.  This package
+replaces that hardware with an execution-model simulator: bounded device
+memory, SIMT ``ceil(work/cores)`` kernel timing, parallel-sort and transfer
+costs, plus a matching sequential-CPU cost model for the CPU baselines.  See
+DESIGN.md §2 for why this substitution preserves the paper's measured shapes.
+"""
+
+from .cpu import CPUExecutor
+from .device import Allocation, Device, DeviceArray
+from .kernels import (
+    distance_kernel,
+    distance_matrix_kernel,
+    elementwise_kernel,
+    reduce_kernel,
+    sort_kernel,
+    topk_kernel,
+)
+from .specs import DESKTOP_CPU_LIKE, RTX_2080TI_LIKE, CPUSpec, DeviceSpec, GiB, KiB, MiB
+from .stats import ExecutionStats
+from .timing import MeasuredRun, measure, throughput_per_minute
+
+__all__ = [
+    "Device",
+    "DeviceArray",
+    "Allocation",
+    "DeviceSpec",
+    "CPUSpec",
+    "CPUExecutor",
+    "ExecutionStats",
+    "RTX_2080TI_LIKE",
+    "DESKTOP_CPU_LIKE",
+    "GiB",
+    "MiB",
+    "KiB",
+    "distance_kernel",
+    "distance_matrix_kernel",
+    "elementwise_kernel",
+    "sort_kernel",
+    "reduce_kernel",
+    "topk_kernel",
+    "measure",
+    "MeasuredRun",
+    "throughput_per_minute",
+]

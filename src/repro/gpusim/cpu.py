@@ -1,0 +1,70 @@
+"""Simulated CPU executor used by the CPU baselines (BST, MVPT, EGNAT).
+
+The CPU baselines of the paper are sequential, single-query-at-a-time
+main-memory indexes.  To keep their reported numbers comparable with the
+simulated GPU, they run on a :class:`CPUExecutor` that charges
+
+``ops * op_time / cores``
+
+simulated seconds per operation batch.  It shares the
+:class:`~repro.gpusim.stats.ExecutionStats` vocabulary with the GPU device so
+the evaluation harness treats both uniformly, and it performs the same
+distance-count bookkeeping, which is what actually drives the orders-of-
+magnitude gap in the reproduced figures.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..metrics.base import Metric
+from .specs import CPUSpec
+from .stats import ExecutionStats
+
+__all__ = ["CPUExecutor"]
+
+
+class CPUExecutor:
+    """Sequential (or lightly multi-core) execution-cost model."""
+
+    def __init__(self, spec: CPUSpec | None = None):
+        self.spec = spec or CPUSpec()
+        self.stats = ExecutionStats()
+
+    def execute(self, ops: float, label: str = "cpu", host_time: float = 0.0) -> float:
+        """Charge ``ops`` abstract operations of sequential CPU work."""
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        elapsed = ops * self.spec.op_time / self.spec.cores
+        self.stats.total_ops += ops
+        self.stats.parallel_steps += int(np.ceil(ops / self.spec.cores))
+        self.stats.sim_time += elapsed
+        self.stats.host_time += host_time
+        return elapsed
+
+    def distances(self, metric: Metric, query, objects: Sequence, label: str = "cpu-dist") -> np.ndarray:
+        """Compute distances from ``query`` to ``objects`` sequentially."""
+        start = time.perf_counter()
+        dists = metric.pairwise(query, objects)
+        host = time.perf_counter() - start
+        self.execute(len(objects) * metric.unit_cost, label=label, host_time=host)
+        return dists
+
+    def distance(self, metric: Metric, a, b, label: str = "cpu-dist") -> float:
+        """Compute a single distance sequentially."""
+        start = time.perf_counter()
+        d = metric.distance(a, b)
+        host = time.perf_counter() - start
+        self.execute(metric.unit_cost, label=label, host_time=host)
+        return d
+
+    def snapshot(self) -> ExecutionStats:
+        """Return a copy of the current counters."""
+        return self.stats.copy()
+
+    def reset_stats(self) -> None:
+        """Zero the counters."""
+        self.stats.reset()

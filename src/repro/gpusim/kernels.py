@@ -1,0 +1,151 @@
+"""Reusable simulated kernels built on top of :class:`~repro.gpusim.device.Device`.
+
+These helpers pair the *actual* NumPy computation with the corresponding
+device-time charge so that callers cannot forget one half.  They model the
+handful of primitives GTS and the GPU baselines need:
+
+* :func:`distance_kernel` — one query (or pivot) against a block of objects;
+* :func:`distance_matrix_kernel` — a full cross-distance table;
+* :func:`elementwise_kernel` — generic per-element transforms (encoding,
+  decoding, normalisation, filtering);
+* :func:`sort_kernel` — global key sort with the parallel-sort cost model;
+* :func:`reduce_kernel` — parallel reductions (max, min, top-k selection).
+
+Each returns the NumPy result; timing flows into ``device.stats``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..metrics.base import Metric
+from .device import Device
+
+__all__ = [
+    "distance_kernel",
+    "distance_matrix_kernel",
+    "elementwise_kernel",
+    "sort_kernel",
+    "reduce_kernel",
+    "topk_kernel",
+]
+
+
+def distance_kernel(
+    device: Device,
+    metric: Metric,
+    query,
+    objects: Sequence,
+    label: str = "distance",
+) -> np.ndarray:
+    """Compute ``d(query, o)`` for every object in parallel on the device."""
+    start = time.perf_counter()
+    dists = metric.pairwise(query, objects)
+    host = time.perf_counter() - start
+    device.launch_kernel(
+        work_items=len(objects), op_cost=metric.unit_cost, label=label, host_time=host
+    )
+    return dists
+
+
+def distance_matrix_kernel(
+    device: Device,
+    metric: Metric,
+    queries: Sequence,
+    objects: Sequence,
+    label: str = "distance-matrix",
+) -> np.ndarray:
+    """Compute the full ``len(queries) x len(objects)`` distance table."""
+    start = time.perf_counter()
+    table = metric.matrix(queries, objects)
+    host = time.perf_counter() - start
+    device.launch_kernel(
+        work_items=len(queries) * len(objects),
+        op_cost=metric.unit_cost,
+        label=label,
+        host_time=host,
+    )
+    return table
+
+
+def elementwise_kernel(
+    device: Device,
+    fn: Callable[[np.ndarray], np.ndarray],
+    array: np.ndarray,
+    op_cost: float = 1.0,
+    label: str = "elementwise",
+) -> np.ndarray:
+    """Apply ``fn`` to ``array`` as one element-parallel kernel."""
+    start = time.perf_counter()
+    out = fn(array)
+    host = time.perf_counter() - start
+    device.launch_kernel(
+        work_items=int(np.size(array)), op_cost=op_cost, label=label, host_time=host
+    )
+    return out
+
+
+def sort_kernel(
+    device: Device,
+    keys: np.ndarray,
+    op_cost: float = 1.0,
+    label: str = "global-sort",
+) -> np.ndarray:
+    """Return the argsort of ``keys``, charging the parallel-sort cost."""
+    start = time.perf_counter()
+    order = np.argsort(keys, kind="stable")
+    host = time.perf_counter() - start
+    device.sort_cost(len(keys), op_cost=op_cost, label=label)
+    device.stats.host_time += host
+    return order
+
+
+def reduce_kernel(
+    device: Device,
+    fn: Callable[[np.ndarray], np.ndarray],
+    array: np.ndarray,
+    op_cost: float = 1.0,
+    label: str = "reduce",
+):
+    """Apply a reduction ``fn`` (max, min, sum, ...) with log-depth cost."""
+    start = time.perf_counter()
+    out = fn(array)
+    host = time.perf_counter() - start
+    n = int(np.size(array))
+    depth = max(1, int(math.ceil(math.log2(n)))) if n > 1 else 1
+    device.launch_kernel(
+        work_items=n, op_cost=op_cost * depth / max(n, 1), label=label, host_time=host
+    )
+    return out
+
+
+def topk_kernel(
+    device: Device,
+    values: np.ndarray,
+    k: int,
+    op_cost: float = 1.0,
+    label: str = "topk",
+) -> np.ndarray:
+    """Return the indices of the ``k`` smallest values (device-selected).
+
+    Models a Dr.Top-k style parallel selection: a full pass over the values
+    plus a ``log``-depth merge, which is what the GPU-Table baseline uses for
+    MkNNQ answering.
+    """
+    k = min(int(k), len(values))
+    if k <= 0:
+        return np.zeros(0, dtype=np.int64)
+    start = time.perf_counter()
+    idx = np.argpartition(values, k - 1)[:k]
+    idx = idx[np.argsort(values[idx], kind="stable")]
+    host = time.perf_counter() - start
+    n = len(values)
+    device.launch_kernel(work_items=n, op_cost=op_cost, label=label, host_time=host)
+    device.launch_kernel(
+        work_items=k, op_cost=op_cost * max(1.0, math.log2(max(k, 2))), label=f"{label}-merge"
+    )
+    return idx

@@ -1,0 +1,60 @@
+"""Timing helpers shared by the evaluation harness.
+
+The paper reports *throughput* (queries per minute) for the search
+experiments and seconds for construction and updates.  These helpers convert
+between simulated seconds and those units, and provide a small scoped timer
+for measuring deltas of device activity.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .device import Device
+from .stats import ExecutionStats
+
+__all__ = ["throughput_per_minute", "MeasuredRun", "measure"]
+
+
+def throughput_per_minute(num_queries: int, elapsed_seconds: float) -> float:
+    """Convert a batch of ``num_queries`` answered in ``elapsed_seconds`` to q/min."""
+    if num_queries <= 0:
+        return 0.0
+    if elapsed_seconds <= 0:
+        return float("inf")
+    return 60.0 * num_queries / elapsed_seconds
+
+
+@dataclass
+class MeasuredRun:
+    """Result of a :func:`measure` block: the stats delta plus derived values."""
+
+    stats: ExecutionStats
+    num_queries: int = 0
+
+    @property
+    def sim_time(self) -> float:
+        return self.stats.sim_time
+
+    @property
+    def throughput(self) -> float:
+        return throughput_per_minute(self.num_queries, self.stats.sim_time)
+
+
+@contextmanager
+def measure(device: Device, num_queries: int = 0) -> Iterator[MeasuredRun]:
+    """Measure the device activity of a ``with`` block.
+
+    >>> run = None
+    >>> with measure(device, num_queries=len(queries)) as run:   # doctest: +SKIP
+    ...     index.range_query(queries)
+    >>> run.throughput                                           # doctest: +SKIP
+    """
+    before = device.snapshot()
+    run = MeasuredRun(stats=ExecutionStats(), num_queries=num_queries)
+    try:
+        yield run
+    finally:
+        run.stats = device.stats.delta_since(before)

@@ -1,0 +1,44 @@
+"""Distance metrics for general metric spaces.
+
+Everything GTS and the baselines know about the data flows through a
+:class:`~repro.metrics.base.Metric`: there are no coordinates, only a distance
+function that satisfies the metric axioms (Section 3 of the paper).
+"""
+
+from .base import Metric, MetricCounter
+from .registry import available_metrics, get_metric, register_metric
+from .sets import (
+    HausdorffDistance,
+    JaccardDistance,
+    hausdorff_distance,
+    jaccard_distance,
+)
+from .string import EditDistance, HammingDistance, edit_distance, hamming_distance
+from .vector import (
+    AngularDistance,
+    ChebyshevDistance,
+    EuclideanDistance,
+    ManhattanDistance,
+    MinkowskiDistance,
+)
+
+__all__ = [
+    "Metric",
+    "MetricCounter",
+    "EuclideanDistance",
+    "ManhattanDistance",
+    "ChebyshevDistance",
+    "MinkowskiDistance",
+    "AngularDistance",
+    "EditDistance",
+    "HammingDistance",
+    "JaccardDistance",
+    "HausdorffDistance",
+    "jaccard_distance",
+    "hausdorff_distance",
+    "edit_distance",
+    "hamming_distance",
+    "get_metric",
+    "register_metric",
+    "available_metrics",
+]

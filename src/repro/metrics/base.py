@@ -1,0 +1,150 @@
+"""Abstract distance metric interface for general metric spaces.
+
+The paper (Section 3) defines a metric space as a pair ``(M, d)`` where the
+distance ``d`` satisfies non-negativity, identity, symmetry and the triangle
+inequality.  GTS only ever interacts with data through such a ``d``: there are
+no coordinates, so every index and baseline in this repository is written
+against the :class:`Metric` interface below.
+
+A :class:`Metric` exposes three granularities of evaluation:
+
+``distance(a, b)``
+    a single pair — the canonical definition;
+``pairwise(query, objects)``
+    one object against a sequence of objects (the shape used by pivot
+    mapping and query verification);
+``matrix(xs, ys)``
+    full cross-distance matrix (used by table-based baselines).
+
+``pairwise`` and ``matrix`` have generic implementations in terms of
+``distance`` but concrete metrics override them with vectorised NumPy code.
+
+Every call is counted.  Distance computations are the currency of metric
+similarity search — the paper's efficiency claims boil down to "GTS computes
+far fewer distances and evaluates the rest with massive parallelism" — so the
+counters feed both the test-suite assertions and the simulated-GPU cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import MetricError
+
+__all__ = ["Metric", "MetricCounter"]
+
+
+class MetricCounter:
+    """Mutable counter of distance evaluations performed by a metric."""
+
+    __slots__ = ("calls", "pairs")
+
+    def __init__(self) -> None:
+        self.calls = 0  # number of API invocations
+        self.pairs = 0  # number of object pairs actually evaluated
+
+    def record(self, pairs: int) -> None:
+        self.calls += 1
+        self.pairs += int(pairs)
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.pairs = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {"calls": self.calls, "pairs": self.pairs}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricCounter(calls={self.calls}, pairs={self.pairs})"
+
+
+class Metric:
+    """Base class for distance metrics over arbitrary object domains.
+
+    Subclasses must implement :meth:`_distance` and may override
+    :meth:`_pairwise` / :meth:`_matrix` with vectorised versions.  They must
+    also set :attr:`name` and :attr:`unit_cost`.
+
+    Attributes
+    ----------
+    name:
+        Human-readable metric name used in reports.
+    unit_cost:
+        Relative cost of one distance evaluation in abstract "operation"
+        units.  The simulated GPU multiplies this by its per-operation time to
+        model that, e.g., an edit distance on DNA strings is far more
+        expensive than a 2-d Euclidean distance.  It does not affect
+        correctness, only the timing model.
+    supports_vectors:
+        True when objects are fixed-length numeric vectors.  Special-purpose
+        baselines (LBPG-Tree, GANNS) refuse metrics without vector support.
+    is_lp_norm:
+        True for L1/L2/L∞ metrics; LBPG-Tree additionally requires this.
+    """
+
+    name: str = "abstract"
+    unit_cost: float = 1.0
+    supports_vectors: bool = False
+    is_lp_norm: bool = False
+
+    def __init__(self) -> None:
+        self.counter = MetricCounter()
+
+    # ------------------------------------------------------------------ API
+    def distance(self, a: Any, b: Any) -> float:
+        """Return ``d(a, b)``."""
+        self.counter.record(1)
+        return float(self._distance(a, b))
+
+    def pairwise(self, query: Any, objects: Sequence[Any]) -> np.ndarray:
+        """Return the vector ``[d(query, o) for o in objects]``."""
+        n = len(objects)
+        if n == 0:
+            return np.zeros(0, dtype=np.float64)
+        self.counter.record(n)
+        return np.asarray(self._pairwise(query, objects), dtype=np.float64)
+
+    def matrix(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
+        """Return the ``len(xs) x len(ys)`` cross-distance matrix."""
+        if len(xs) == 0 or len(ys) == 0:
+            return np.zeros((len(xs), len(ys)), dtype=np.float64)
+        self.counter.record(len(xs) * len(ys))
+        return np.asarray(self._matrix(xs, ys), dtype=np.float64)
+
+    def reset_counter(self) -> None:
+        """Zero the distance-evaluation counters."""
+        self.counter.reset()
+
+    @property
+    def pair_count(self) -> int:
+        """Number of object pairs evaluated since the last reset."""
+        return self.counter.pairs
+
+    # ------------------------------------------------------- implementation
+    def _distance(self, a: Any, b: Any) -> float:
+        raise NotImplementedError
+
+    def _pairwise(self, query: Any, objects: Sequence[Any]) -> Iterable[float]:
+        return [self._distance(query, o) for o in objects]
+
+    def _matrix(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
+        out = np.empty((len(xs), len(ys)), dtype=np.float64)
+        for i, x in enumerate(xs):
+            out[i, :] = self._pairwise(x, ys)
+        return out
+
+    # ----------------------------------------------------------- validation
+    def validate_objects(self, objects: Sequence[Any]) -> None:
+        """Hook for subclasses to reject malformed objects early.
+
+        The default implementation only rejects empty datasets handed to
+        vector metrics with inconsistent shapes; string metrics accept any
+        sequence of strings.
+        """
+        if objects is None:
+            raise MetricError("objects must not be None")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,75 @@
+"""Name-based registry of distance metrics.
+
+The evaluation harness and the dataset generators refer to metrics by short
+names (``"l2"``, ``"edit"``, ...) so that experiment configurations stay plain
+data.  :func:`get_metric` turns such a name into a fresh :class:`Metric`
+instance; :func:`register_metric` lets downstream users plug in their own.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..exceptions import MetricError
+from .base import Metric
+from .sets import HausdorffDistance, JaccardDistance
+from .string import EditDistance, HammingDistance
+from .vector import (
+    AngularDistance,
+    ChebyshevDistance,
+    EuclideanDistance,
+    ManhattanDistance,
+    MinkowskiDistance,
+)
+
+__all__ = ["get_metric", "register_metric", "available_metrics"]
+
+_FACTORIES: Dict[str, Callable[..., Metric]] = {
+    "l1": ManhattanDistance,
+    "manhattan": ManhattanDistance,
+    "l2": EuclideanDistance,
+    "euclidean": EuclideanDistance,
+    "linf": ChebyshevDistance,
+    "chebyshev": ChebyshevDistance,
+    "angular": AngularDistance,
+    "cosine": AngularDistance,
+    "word-cosine": AngularDistance,
+    "edit": EditDistance,
+    "levenshtein": EditDistance,
+    "hamming": HammingDistance,
+    "minkowski": MinkowskiDistance,
+    "jaccard": JaccardDistance,
+    "hausdorff": HausdorffDistance,
+}
+
+
+def register_metric(name: str, factory: Callable[..., Metric]) -> None:
+    """Register ``factory`` under ``name`` (case-insensitive).
+
+    Raises :class:`MetricError` if the name is already taken.
+    """
+    key = name.strip().lower()
+    if key in _FACTORIES:
+        raise MetricError(f"metric name already registered: {name!r}")
+    _FACTORIES[key] = factory
+
+
+def available_metrics() -> list[str]:
+    """Return the sorted list of registered metric names."""
+    return sorted(_FACTORIES)
+
+
+def get_metric(name: str, **kwargs) -> Metric:
+    """Instantiate the metric registered under ``name``.
+
+    Extra keyword arguments are forwarded to the metric constructor, e.g.
+    ``get_metric("minkowski", p=3)`` or ``get_metric("edit", expected_length=108)``.
+    """
+    key = name.strip().lower()
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise MetricError(
+            f"unknown metric {name!r}; available: {', '.join(available_metrics())}"
+        ) from None
+    return factory(**kwargs)

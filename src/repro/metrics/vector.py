@@ -1,0 +1,204 @@
+"""Vector-space distance metrics: L1, L2, L∞ norms and angular (word cosine).
+
+The paper's datasets use three of these:
+
+* **T-Loc** — 2-d Twitter-user locations, L2 norm;
+* **Color** — 282-d image features, L1 norm;
+* **Vector** — 300-d word embeddings, "word cosine distance".
+
+Cosine *similarity* is not a metric (it violates the triangle inequality), so
+following common practice for metric indexes over embeddings we use the
+angular distance ``arccos(cos_sim) / pi`` which is a proper metric on the unit
+sphere; the paper's reference [1] (word2vec) normalises embeddings, making the
+two orderings identical.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import MetricError
+from .base import Metric
+
+__all__ = [
+    "EuclideanDistance",
+    "ManhattanDistance",
+    "ChebyshevDistance",
+    "MinkowskiDistance",
+    "AngularDistance",
+]
+
+
+def _as_matrix(objects: Sequence) -> np.ndarray:
+    arr = np.asarray(objects, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise MetricError(f"vector objects must be 1- or 2-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def _as_vector(obj) -> np.ndarray:
+    arr = np.asarray(obj, dtype=np.float64)
+    if arr.ndim != 1:
+        raise MetricError(f"a vector object must be 1-dimensional, got shape {arr.shape}")
+    return arr
+
+
+class _VectorMetric(Metric):
+    """Shared validation for fixed-dimension vector metrics.
+
+    ``unit_cost`` is proportional to the vector dimensionality (a 282-d L1
+    distance costs ~300x more arithmetic than a 2-d one); the dimension is
+    inferred lazily from the first objects seen.
+    """
+
+    supports_vectors = True
+    #: abstract operations per coordinate of one distance evaluation
+    ops_per_dimension = 2.0
+
+    def _observe_dimension(self, dim: int) -> None:
+        self.unit_cost = max(1.0, self.ops_per_dimension * int(dim))
+
+    def validate_objects(self, objects: Sequence) -> None:
+        super().validate_objects(objects)
+        if len(objects) == 0:
+            return
+        mat = _as_matrix(objects)
+        if not np.all(np.isfinite(mat)):
+            raise MetricError("vector objects must contain only finite values")
+
+
+class MinkowskiDistance(_VectorMetric):
+    """General Lp norm distance ``(sum |x_i - y_i|^p)^(1/p)`` for ``p >= 1``."""
+
+    is_lp_norm = True
+
+    def __init__(self, p: float):
+        if p < 1:
+            raise MetricError(f"Minkowski distance requires p >= 1, got {p}")
+        super().__init__()
+        self.p = float(p)
+        self.name = f"l{p:g}-norm"
+        self.unit_cost = 1.0
+
+    def _distance(self, a, b) -> float:
+        x, y = _as_vector(a), _as_vector(b)
+        if x.shape != y.shape:
+            raise MetricError(f"dimension mismatch: {x.shape} vs {y.shape}")
+        self._observe_dimension(x.shape[0])
+        if np.isinf(self.p):
+            return float(np.max(np.abs(x - y)))
+        return float(np.sum(np.abs(x - y) ** self.p) ** (1.0 / self.p))
+
+    def _pairwise(self, query, objects) -> np.ndarray:
+        q = _as_vector(query)
+        mat = _as_matrix(objects)
+        if mat.shape[1] != q.shape[0]:
+            raise MetricError(f"dimension mismatch: {q.shape[0]} vs {mat.shape[1]}")
+        self._observe_dimension(q.shape[0])
+        diff = np.abs(mat - q[None, :])
+        if np.isinf(self.p):
+            return diff.max(axis=1)
+        return np.sum(diff ** self.p, axis=1) ** (1.0 / self.p)
+
+    def _matrix(self, xs, ys) -> np.ndarray:
+        a = _as_matrix(xs)
+        b = _as_matrix(ys)
+        if a.shape[1] != b.shape[1]:
+            raise MetricError(f"dimension mismatch: {a.shape[1]} vs {b.shape[1]}")
+        self._observe_dimension(a.shape[1])
+        if self.p == 2.0:
+            # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y  (clipped for round-off)
+            sq = (
+                np.sum(a * a, axis=1)[:, None]
+                + np.sum(b * b, axis=1)[None, :]
+                - 2.0 * a @ b.T
+            )
+            return np.sqrt(np.clip(sq, 0.0, None))
+        diff = np.abs(a[:, None, :] - b[None, :, :])
+        if np.isinf(self.p):
+            return diff.max(axis=2)
+        return np.sum(diff ** self.p, axis=2) ** (1.0 / self.p)
+
+
+class EuclideanDistance(MinkowskiDistance):
+    """L2-norm distance, the metric of the T-Loc dataset."""
+
+    def __init__(self) -> None:
+        super().__init__(p=2.0)
+        self.name = "l2-norm"
+
+
+class ManhattanDistance(MinkowskiDistance):
+    """L1-norm distance, the metric of the Color dataset."""
+
+    def __init__(self) -> None:
+        super().__init__(p=1.0)
+        self.name = "l1-norm"
+
+
+class ChebyshevDistance(MinkowskiDistance):
+    """L∞-norm distance (included for completeness of the Lp family)."""
+
+    def __init__(self) -> None:
+        super().__init__(p=np.inf)
+        self.name = "linf-norm"
+
+
+class AngularDistance(_VectorMetric):
+    """Angular ("word cosine") distance: ``arccos(cosine similarity) / pi``.
+
+    This is the metric used for the Vector dataset (300-d word embeddings).
+    It lies in ``[0, 1]`` and satisfies the triangle inequality (it is the
+    great-circle distance on the unit sphere up to a constant factor), unlike
+    raw ``1 - cosine`` similarity.
+    """
+
+    is_lp_norm = False
+    ops_per_dimension = 3.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.name = "angular"
+        self.unit_cost = 1.5
+
+    @staticmethod
+    def _cosine(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        na = np.linalg.norm(a, axis=-1)
+        nb = np.linalg.norm(b, axis=-1)
+        denom = na * nb
+        denom = np.where(denom == 0.0, 1.0, denom)
+        cos = np.sum(a * b, axis=-1) / denom
+        return np.clip(cos, -1.0, 1.0)
+
+    def _distance(self, a, b) -> float:
+        x, y = _as_vector(a), _as_vector(b)
+        if x.shape != y.shape:
+            raise MetricError(f"dimension mismatch: {x.shape} vs {y.shape}")
+        self._observe_dimension(x.shape[0])
+        if not x.any() and not y.any():
+            return 0.0
+        return float(np.arccos(self._cosine(x, y)) / np.pi)
+
+    def _pairwise(self, query, objects) -> np.ndarray:
+        q = _as_vector(query)
+        mat = _as_matrix(objects)
+        if mat.shape[1] != q.shape[0]:
+            raise MetricError(f"dimension mismatch: {q.shape[0]} vs {mat.shape[1]}")
+        self._observe_dimension(q.shape[0])
+        cos = self._cosine(mat, q[None, :])
+        return np.arccos(cos) / np.pi
+
+    def _matrix(self, xs, ys) -> np.ndarray:
+        a = _as_matrix(xs)
+        b = _as_matrix(ys)
+        self._observe_dimension(a.shape[1])
+        na = np.linalg.norm(a, axis=1)
+        nb = np.linalg.norm(b, axis=1)
+        na = np.where(na == 0.0, 1.0, na)
+        nb = np.where(nb == 0.0, 1.0, nb)
+        cos = np.clip((a @ b.T) / np.outer(na, nb), -1.0, 1.0)
+        return np.arccos(cos) / np.pi

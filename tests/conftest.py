@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite.
+
+Fixtures deliberately use small cardinalities: correctness is what the tests
+establish; performance shapes are the benchmarks' job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_color, generate_dna, generate_tloc, generate_vector, generate_words
+from repro.gpusim import Device, DeviceSpec
+from repro.metrics import EditDistance, EuclideanDistance, ManhattanDistance
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def device() -> Device:
+    return Device(DeviceSpec())
+
+
+@pytest.fixture
+def small_device() -> Device:
+    """A device with very little memory, for memory-pressure tests."""
+    return Device(DeviceSpec(memory_bytes=256 * 1024))
+
+
+@pytest.fixture
+def points_2d(rng) -> np.ndarray:
+    """Clustered 2-d points (T-Loc-like)."""
+    centers = rng.normal(scale=10.0, size=(6, 2))
+    assignment = rng.integers(0, 6, size=600)
+    return centers[assignment] + rng.normal(scale=0.5, size=(600, 2))
+
+
+@pytest.fixture
+def points_highdim(rng) -> np.ndarray:
+    """Clustered 20-d points (Color-like, but small for speed)."""
+    centers = rng.normal(scale=3.0, size=(4, 20))
+    assignment = rng.integers(0, 4, size=300)
+    return centers[assignment] + rng.normal(scale=0.3, size=(300, 20))
+
+
+@pytest.fixture
+def word_list(rng) -> list[str]:
+    """A small word-like string collection for edit-distance tests."""
+    roots = ["metric", "space", "index", "tree", "pivot", "query", "batch", "gpu"]
+    suffixes = ["", "s", "ing", "ed", "er"]
+    words = []
+    for i in range(250):
+        w = roots[int(rng.integers(0, len(roots)))] + suffixes[int(rng.integers(0, len(suffixes)))]
+        if rng.random() < 0.3:
+            w += "".join(chr(97 + int(c)) for c in rng.integers(0, 26, size=int(rng.integers(1, 4))))
+        words.append(w)
+    return words
+
+
+@pytest.fixture
+def l2_metric() -> EuclideanDistance:
+    return EuclideanDistance()
+
+
+@pytest.fixture
+def l1_metric() -> ManhattanDistance:
+    return ManhattanDistance()
+
+
+@pytest.fixture
+def edit_metric() -> EditDistance:
+    return EditDistance(expected_length=8)
+
+
+def brute_force_range(objects, metric, query, radius):
+    """Reference range query used for correctness checks."""
+    dists = metric.pairwise(query, objects)
+    hits = [(int(i), float(d)) for i, d in enumerate(dists) if d <= radius]
+    return sorted(hits, key=lambda p: (p[1], p[0]))
+
+
+def brute_force_knn(objects, metric, query, k):
+    """Reference kNN query used for correctness checks."""
+    dists = metric.pairwise(query, objects)
+    order = np.lexsort((np.arange(len(dists)), dists))[:k]
+    return [(int(i), float(dists[i])) for i in order]
+
+
+@pytest.fixture
+def oracles():
+    """Expose the brute-force reference implementations to tests."""
+    return brute_force_range, brute_force_knn

@@ -1,0 +1,168 @@
+"""Correctness tests for the CPU baselines (LinearScan, BST, MVPT, EGNAT)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import EGNAT, BisectorTree, LinearScan, MVPTree
+from repro.exceptions import BaselineError
+from repro.metrics import EditDistance, EuclideanDistance
+from tests.conftest import brute_force_knn, brute_force_range
+
+CPU_CLASSES = [LinearScan, BisectorTree, MVPTree, EGNAT]
+
+
+def _ids(results):
+    return {o for o, _ in results}
+
+
+@pytest.mark.parametrize("cls", CPU_CLASSES)
+class TestCPUBaselineCorrectness:
+    def test_range_query_matches_brute_force(self, cls, points_2d, l2_metric):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        for qi in (0, 17, 101):
+            query = points_2d[qi] + 0.02
+            got = index.range_query(query, 0.9)
+            expected = brute_force_range(points_2d, l2_metric, query, 0.9)
+            assert _ids(got) == _ids(expected)
+
+    def test_knn_matches_brute_force(self, cls, points_2d, l2_metric):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        for qi in (3, 42):
+            got = index.knn_query(points_2d[qi] + 0.01, 6)
+            expected = brute_force_knn(points_2d, l2_metric, points_2d[qi] + 0.01, 6)
+            np.testing.assert_allclose(
+                sorted(d for _, d in got), sorted(d for _, d in expected), atol=1e-9
+            )
+
+    def test_string_dataset(self, cls, word_list):
+        index = cls(EditDistance())
+        index.build(word_list)
+        oracle_metric = EditDistance()
+        got = index.range_query("metric", 1)
+        expected = brute_force_range(word_list, oracle_metric, "metric", 1)
+        assert _ids(got) == _ids(expected)
+
+    def test_empty_build_rejected(self, cls):
+        with pytest.raises(BaselineError):
+            cls(EuclideanDistance()).build([])
+
+    def test_query_before_build_rejected(self, cls):
+        index = cls(EuclideanDistance())
+        with pytest.raises(BaselineError):
+            index.range_query([0.0, 0.0], 1.0)
+
+    def test_insert_visible(self, cls, points_2d, l2_metric):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        new = np.array([500.0, 500.0])
+        obj_id = index.insert(new)
+        got = index.range_query(new, 0.1)
+        assert obj_id in _ids(got)
+
+    def test_delete_hides_object(self, cls, points_2d):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        index.delete(0)
+        got = index.range_query(points_2d[0], 1e-9)
+        assert 0 not in _ids(got)
+        assert index.num_objects == len(points_2d) - 1
+
+    def test_delete_unknown_rejected(self, cls, points_2d):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        with pytest.raises(BaselineError):
+            index.delete(10_000)
+
+    def test_batch_update_then_query_exact(self, cls, points_2d, l2_metric):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        index.batch_update(inserts=[np.array([300.0, 300.0])], deletes=[0, 1])
+        got = index.knn_query(np.array([300.0, 300.0]), 1)
+        assert got[0][1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_sim_stats_accumulate(self, cls, points_2d):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        before = index.sim_stats.sim_time
+        index.knn_query(points_2d[0], 3)
+        assert index.sim_stats.sim_time >= before
+
+    def test_storage_reported(self, cls, points_2d):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        assert index.storage_bytes > 0
+
+
+class TestCPUBaselineSpecifics:
+    def test_bst_prunes_distance_computations(self, points_2d):
+        metric = EuclideanDistance()
+        index = BisectorTree(metric)
+        index.build(points_2d)
+        metric.reset_counter()
+        index.range_query(points_2d[0], 0.3)
+        assert metric.pair_count < len(points_2d)
+
+    def test_mvpt_prunes_distance_computations(self, points_2d):
+        metric = EuclideanDistance()
+        index = MVPTree(metric)
+        index.build(points_2d)
+        metric.reset_counter()
+        index.range_query(points_2d[0], 0.3)
+        assert metric.pair_count < len(points_2d)
+
+    def test_egnat_prunes_distance_computations(self, points_2d):
+        metric = EuclideanDistance()
+        index = EGNAT(metric, arity=4)
+        index.build(points_2d)
+        metric.reset_counter()
+        index.range_query(points_2d[0], 0.3)
+        assert metric.pair_count < len(points_2d)
+
+    def test_egnat_memory_budget_enforced(self, points_2d):
+        index = EGNAT(EuclideanDistance(), memory_budget_bytes=1000)
+        with pytest.raises(BaselineError):
+            index.build(points_2d)
+
+    def test_egnat_storage_larger_than_mvpt(self, points_2d):
+        """EGNAT's pre-computed range tables make it the most storage-hungry CPU index."""
+        egnat = EGNAT(EuclideanDistance())
+        egnat.build(points_2d)
+        mvpt = MVPTree(EuclideanDistance())
+        mvpt.build(points_2d)
+        assert egnat.storage_bytes > mvpt.storage_bytes
+
+    def test_bst_invalid_leaf_size(self):
+        with pytest.raises(BaselineError):
+            BisectorTree(EuclideanDistance(), leaf_size=1)
+
+    def test_mvpt_invalid_fanout(self):
+        with pytest.raises(BaselineError):
+            MVPTree(EuclideanDistance(), fanout=1)
+
+    def test_egnat_invalid_arity(self):
+        with pytest.raises(BaselineError):
+            EGNAT(EuclideanDistance(), arity=1)
+
+    def test_stream_insert_cheaper_than_rebuild(self, points_2d):
+        """CPU trees insert structurally: far fewer distances than a rebuild."""
+        metric = EuclideanDistance()
+        index = MVPTree(metric)
+        index.build(points_2d)
+        build_distances = metric.pair_count
+        metric.reset_counter()
+        index.insert(np.array([1.0, 1.0]))
+        assert metric.pair_count < build_distances / 10
+
+    def test_duplicate_objects_handled(self, rng):
+        pts = np.tile(rng.normal(size=(5, 2)), (30, 1))
+        for cls in (BisectorTree, MVPTree, EGNAT):
+            metric = EuclideanDistance()
+            index = cls(metric)
+            index.build(pts)
+            got = index.knn_query(pts[0], 4)
+            assert len(got) == 4
+            assert all(d == pytest.approx(0.0, abs=1e-12) for _, d in got)

@@ -1,0 +1,411 @@
+"""Correctness tests for the related-work CPU baselines.
+
+LAESA, List of Clusters (LC), Extreme Pivots (EPT), M-tree and GNAT are the
+CPU metric indexes the paper's Section 2 surveys; they share the
+:class:`~repro.baselines.base.SimilarityIndex` surface, so this module runs
+the same exactness/update battery as ``test_baselines_cpu`` plus a handful of
+method-specific checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GNAT,
+    LAESA,
+    ExtremePivotsTable,
+    LinearScan,
+    ListOfClusters,
+    MTree,
+    available_methods,
+    get_method,
+)
+from repro.exceptions import BaselineError
+from repro.metrics import EditDistance, EuclideanDistance
+from tests.conftest import brute_force_knn, brute_force_range
+
+EXTENDED_CLASSES = [LAESA, ListOfClusters, ExtremePivotsTable, MTree, GNAT]
+
+
+def _ids(results):
+    return {o for o, _ in results}
+
+
+@pytest.mark.parametrize("cls", EXTENDED_CLASSES)
+class TestExtendedBaselineCorrectness:
+    def test_range_query_matches_brute_force(self, cls, points_2d, l2_metric):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        for qi in (0, 17, 101):
+            query = points_2d[qi] + 0.02
+            got = index.range_query(query, 0.9)
+            expected = brute_force_range(points_2d, l2_metric, query, 0.9)
+            assert _ids(got) == _ids(expected)
+
+    def test_range_query_various_radii(self, cls, points_2d, l2_metric):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        query = points_2d[50] * 1.01
+        for radius in (0.0, 0.25, 2.0, 50.0):
+            got = index.range_query(query, radius)
+            expected = brute_force_range(points_2d, l2_metric, query, radius)
+            assert _ids(got) == _ids(expected)
+
+    def test_knn_matches_brute_force(self, cls, points_2d, l2_metric):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        for qi in (3, 42):
+            got = index.knn_query(points_2d[qi] + 0.01, 6)
+            expected = brute_force_knn(points_2d, l2_metric, points_2d[qi] + 0.01, 6)
+            np.testing.assert_allclose(
+                sorted(d for _, d in got), sorted(d for _, d in expected), atol=1e-9
+            )
+
+    def test_knn_batch_matches_single(self, cls, points_2d):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        queries = [points_2d[5], points_2d[77] + 0.1]
+        batch = index.knn_query_batch(queries, 4)
+        singles = [index.knn_query(q, 4) for q in queries]
+        for got, expected in zip(batch, singles):
+            assert sorted(d for _, d in got) == pytest.approx(sorted(d for _, d in expected))
+
+    def test_string_dataset(self, cls, word_list):
+        index = cls(EditDistance())
+        index.build(word_list)
+        oracle_metric = EditDistance()
+        got = index.range_query("metric", 1)
+        expected = brute_force_range(word_list, oracle_metric, "metric", 1)
+        assert _ids(got) == _ids(expected)
+
+    def test_highdim_dataset(self, cls, points_highdim, l2_metric):
+        index = cls(EuclideanDistance())
+        index.build(points_highdim)
+        query = points_highdim[11] + 0.05
+        got = index.range_query(query, 1.5)
+        expected = brute_force_range(points_highdim, l2_metric, query, 1.5)
+        assert _ids(got) == _ids(expected)
+
+    def test_empty_build_rejected(self, cls):
+        with pytest.raises(BaselineError):
+            cls(EuclideanDistance()).build([])
+
+    def test_query_before_build_rejected(self, cls):
+        index = cls(EuclideanDistance())
+        with pytest.raises(BaselineError):
+            index.range_query([0.0, 0.0], 1.0)
+
+    def test_insert_visible(self, cls, points_2d):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        new = np.array([500.0, 500.0])
+        obj_id = index.insert(new)
+        got = index.range_query(new, 0.1)
+        assert obj_id in _ids(got)
+
+    def test_insert_then_knn_exact(self, cls, points_2d, l2_metric):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        inserted = [np.array([40.0 + i, -40.0]) for i in range(5)]
+        for obj in inserted:
+            index.insert(obj)
+        got = index.knn_query(np.array([42.0, -40.0]), 3)
+        all_points = list(points_2d) + inserted
+        expected = brute_force_knn(all_points, l2_metric, np.array([42.0, -40.0]), 3)
+        assert sorted(d for _, d in got) == pytest.approx(sorted(d for _, d in expected))
+
+    def test_delete_hides_object(self, cls, points_2d):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        index.delete(0)
+        got = index.range_query(points_2d[0], 1e-9)
+        assert 0 not in _ids(got)
+        assert index.num_objects == len(points_2d) - 1
+
+    def test_delete_unknown_rejected(self, cls, points_2d):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        with pytest.raises(BaselineError):
+            index.delete(10_000)
+
+    def test_delete_twice_rejected(self, cls, points_2d):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        index.delete(3)
+        with pytest.raises(BaselineError):
+            index.delete(3)
+
+    def test_batch_update_then_query_exact(self, cls, points_2d):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        index.batch_update(inserts=[np.array([300.0, 300.0])], deletes=[0, 1])
+        got = index.knn_query(np.array([300.0, 300.0]), 1)
+        assert got[0][1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_range_after_delete_matches_brute_force(self, cls, points_2d, l2_metric):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        removed = {2, 7, 11}
+        for obj_id in removed:
+            index.delete(obj_id)
+        query = points_2d[2] + 0.01
+        got = index.range_query(query, 1.0)
+        survivors = [p for i, p in enumerate(points_2d) if i not in removed]
+        expected = brute_force_range(survivors, l2_metric, query, 1.0)
+        assert len(got) == len(expected)
+        assert not (_ids(got) & removed)
+
+    def test_sim_stats_accumulate(self, cls, points_2d):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        before = index.sim_stats.sim_time
+        index.knn_query(points_2d[0], 3)
+        assert index.sim_stats.sim_time >= before
+
+    def test_storage_reported(self, cls, points_2d):
+        index = cls(EuclideanDistance())
+        index.build(points_2d)
+        assert index.storage_bytes > 0
+
+    def test_prunes_distance_computations(self, cls, points_2d):
+        metric = EuclideanDistance()
+        index = cls(metric)
+        index.build(points_2d)
+        metric.reset_counter()
+        index.range_query(points_2d[0], 0.3)
+        assert metric.pair_count < len(points_2d)
+
+    def test_duplicate_objects_handled(self, cls, rng):
+        pts = np.tile(rng.normal(size=(5, 2)), (30, 1))
+        metric = EuclideanDistance()
+        index = cls(metric)
+        index.build(pts)
+        got = index.knn_query(pts[0], 4)
+        assert len(got) == 4
+        assert all(d == pytest.approx(0.0, abs=1e-12) for _, d in got)
+
+    def test_registered_in_method_registry(self, cls):
+        registered = {type(get_method(name, EuclideanDistance())) for name in available_methods()}
+        assert cls in registered
+
+
+class TestLAESASpecifics:
+    def test_invalid_pivot_count(self):
+        with pytest.raises(BaselineError):
+            LAESA(EuclideanDistance(), num_pivots=0)
+
+    def test_pivot_count_capped_by_dataset(self, rng):
+        pts = rng.normal(size=(5, 2))
+        index = LAESA(EuclideanDistance(), num_pivots=64)
+        index.build(pts)
+        assert len(index._pivot_ids) == 5
+
+    def test_deleted_pivot_still_filters(self, points_2d, l2_metric):
+        index = LAESA(EuclideanDistance(), num_pivots=8)
+        index.build(points_2d)
+        pivot = index._pivot_ids[0]
+        index.delete(pivot)
+        query = points_2d[pivot] + 0.01
+        got = index.range_query(query, 0.8)
+        assert pivot not in _ids(got)
+        survivors = [p for i, p in enumerate(points_2d) if i != pivot]
+        expected = brute_force_range(survivors, l2_metric, query, 0.8)
+        assert len(got) == len(expected)
+
+    def test_more_pivots_prune_more(self, points_2d):
+        few_metric = EuclideanDistance()
+        few = LAESA(few_metric, num_pivots=2)
+        few.build(points_2d)
+        many_metric = EuclideanDistance()
+        many = LAESA(many_metric, num_pivots=24)
+        many.build(points_2d)
+        few_metric.reset_counter()
+        many_metric.reset_counter()
+        query = points_2d[10] + 0.02
+        few.range_query(query, 0.5)
+        many.range_query(query, 0.5)
+        # 24 pivots cost 24 query-to-pivot distances but screen out far more
+        # candidates than 2 pivots do on a clustered dataset
+        assert many_metric.pair_count < few_metric.pair_count + 30
+
+    def test_table_shape(self, points_2d):
+        index = LAESA(EuclideanDistance(), num_pivots=8)
+        index.build(points_2d)
+        assert index._table.shape == (len(points_2d), 8)
+
+
+class TestListOfClustersSpecifics:
+    def test_invalid_bucket_size(self):
+        with pytest.raises(BaselineError):
+            ListOfClusters(EuclideanDistance(), bucket_size=0)
+
+    def test_every_object_in_exactly_one_cluster(self, points_2d):
+        index = ListOfClusters(EuclideanDistance(), bucket_size=20)
+        index.build(points_2d)
+        seen: list[int] = []
+        for cluster in index._clusters:
+            seen.append(cluster.center_id)
+            seen.extend(cluster.member_ids)
+        assert sorted(seen) == list(range(len(points_2d)))
+
+    def test_covering_radius_is_max_member_distance(self, points_2d):
+        index = ListOfClusters(EuclideanDistance(), bucket_size=20)
+        index.build(points_2d)
+        for cluster in index._clusters:
+            if cluster.member_dists:
+                assert cluster.covering_radius == pytest.approx(max(cluster.member_dists))
+            else:
+                assert cluster.covering_radius == 0.0
+
+    def test_insert_outside_every_ball_creates_new_cluster(self, points_2d):
+        index = ListOfClusters(EuclideanDistance(), bucket_size=20)
+        index.build(points_2d)
+        before = len(index._clusters)
+        index.insert(np.array([1e6, 1e6]))
+        assert len(index._clusters) == before + 1
+
+    def test_deleted_center_still_prunes(self, points_2d, l2_metric):
+        index = ListOfClusters(EuclideanDistance(), bucket_size=20)
+        index.build(points_2d)
+        center = index._clusters[0].center_id
+        index.delete(center)
+        query = points_2d[center] + 0.01
+        got = index.range_query(query, 0.7)
+        assert center not in _ids(got)
+        survivors = [p for i, p in enumerate(points_2d) if i != center]
+        expected = brute_force_range(survivors, l2_metric, query, 0.7)
+        assert len(got) == len(expected)
+
+
+class TestEPTSpecifics:
+    def test_invalid_groups(self):
+        with pytest.raises(BaselineError):
+            ExtremePivotsTable(EuclideanDistance(), num_groups=0)
+
+    def test_selected_distance_is_consistent(self, points_2d, l2_metric):
+        index = ExtremePivotsTable(EuclideanDistance(), num_groups=3, pivots_per_group=3)
+        index.build(points_2d)
+        for obj_id in (0, 10, 57):
+            for g, pivots in enumerate(index._group_pivots):
+                chosen = int(index._selected[obj_id, g])
+                stored = index._selected_dist[obj_id, g]
+                real = l2_metric.distance(points_2d[obj_id], pivots[chosen])
+                assert stored == pytest.approx(real)
+
+    def test_more_groups_prune_more(self, points_2d):
+        loose_metric = EuclideanDistance()
+        loose = ExtremePivotsTable(loose_metric, num_groups=1, pivots_per_group=1)
+        loose.build(points_2d)
+        tight_metric = EuclideanDistance()
+        tight = ExtremePivotsTable(tight_metric, num_groups=6, pivots_per_group=4)
+        tight.build(points_2d)
+        query = points_2d[25] + 0.03
+        loose_metric.reset_counter()
+        tight_metric.reset_counter()
+        loose.range_query(query, 0.5)
+        tight.range_query(query, 0.5)
+        assert tight_metric.pair_count < loose_metric.pair_count + 30
+
+
+class TestMTreeSpecifics:
+    def test_invalid_fanout(self):
+        with pytest.raises(BaselineError):
+            MTree(EuclideanDistance(), fanout=1)
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(BaselineError):
+            MTree(EuclideanDistance(), leaf_size=0)
+
+    def test_covering_radii_cover_subtrees(self, points_2d, l2_metric):
+        index = MTree(EuclideanDistance(), fanout=4, leaf_size=8)
+        index.build(points_2d)
+
+        def check(node):
+            for entry in node.entries:
+                if entry.child is None:
+                    continue
+                for obj_id, dist in _subtree_objects(entry.child, entry.obj, l2_metric):
+                    assert dist <= entry.covering_radius + 1e-9
+                check(entry.child)
+
+        def _subtree_objects(node, routing_obj, metric):
+            for entry in node.entries:
+                yield entry.obj_id, metric.distance(entry.obj, routing_obj)
+                if entry.child is not None:
+                    yield from _subtree_objects(entry.child, routing_obj, metric)
+
+        check(index._root)
+
+    def test_structural_insert_cheaper_than_rebuild(self, points_2d):
+        metric = EuclideanDistance()
+        index = MTree(metric)
+        index.build(points_2d)
+        build_distances = metric.pair_count
+        metric.reset_counter()
+        index.insert(np.array([1.0, 1.0]))
+        assert metric.pair_count < build_distances / 10
+
+    def test_results_never_duplicated(self, points_2d):
+        index = MTree(EuclideanDistance(), fanout=4, leaf_size=8)
+        index.build(points_2d)
+        got = index.range_query(points_2d[0], 5.0)
+        ids = [obj_id for obj_id, _ in got]
+        assert len(ids) == len(set(ids))
+
+
+class TestGNATSpecifics:
+    def test_invalid_fanout(self):
+        with pytest.raises(BaselineError):
+            GNAT(EuclideanDistance(), fanout=1)
+
+    def test_range_tables_cover_groups(self, points_2d, l2_metric):
+        index = GNAT(EuclideanDistance(), fanout=4, leaf_size=8)
+        index.build(points_2d)
+
+        def collect(node):
+            ids = list(node.object_ids) + list(node.split_ids)
+            for child in node.children:
+                ids.extend(collect(child))
+            return ids
+
+        root = index._root
+        if root.is_leaf:
+            pytest.skip("dataset too small to split")
+        for i, split_obj in enumerate(root.split_objs):
+            for j, child in enumerate(root.children):
+                lo, hi = root.ranges[i][j]
+                members = collect(child)
+                if not members:
+                    assert lo > hi  # empty sentinel
+                    continue
+                dists = [l2_metric.distance(points_2d[m], split_obj) for m in members]
+                assert min(dists) >= lo - 1e-9
+                assert max(dists) <= hi + 1e-9
+
+    def test_deleted_split_point_still_prunes(self, points_2d, l2_metric):
+        index = GNAT(EuclideanDistance(), fanout=4, leaf_size=8)
+        index.build(points_2d)
+        split = index._root.split_ids[0]
+        index.delete(split)
+        query = points_2d[split] + 0.01
+        got = index.range_query(query, 0.6)
+        assert split not in _ids(got)
+        survivors = [p for i, p in enumerate(points_2d) if i != split]
+        expected = brute_force_range(survivors, l2_metric, query, 0.6)
+        assert len(got) == len(expected)
+
+    def test_prunes_against_linear_scan(self, points_2d):
+        gnat_metric = EuclideanDistance()
+        index = GNAT(gnat_metric, fanout=6, leaf_size=12)
+        index.build(points_2d)
+        scan_metric = EuclideanDistance()
+        scan = LinearScan(scan_metric)
+        scan.build(points_2d)
+        gnat_metric.reset_counter()
+        scan_metric.reset_counter()
+        query = points_2d[0] + 0.01
+        index.range_query(query, 0.3)
+        scan.range_query(query, 0.3)
+        assert gnat_metric.pair_count < scan_metric.pair_count

@@ -1,0 +1,237 @@
+"""Tests for the GPU baselines (GPU-Table, GPU-Tree, LBPG-Tree, GANNS) and the GTS adapter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import GANNS, GPUTable, GPUTree, GTSIndex, LBPGTree
+from repro.exceptions import BaselineError, MemoryDeadlockError, UnsupportedMetricError
+from repro.gpusim import Device, DeviceSpec, MiB
+from repro.metrics import AngularDistance, EditDistance, EuclideanDistance, ManhattanDistance
+from tests.conftest import brute_force_knn, brute_force_range
+
+
+def _ids(results):
+    return {o for o, _ in results}
+
+
+class TestGPUTable:
+    def test_range_query_exact(self, points_2d, l2_metric):
+        index = GPUTable(EuclideanDistance())
+        index.build(points_2d)
+        got = index.range_query(points_2d[0], 0.7)
+        expected = brute_force_range(points_2d, l2_metric, points_2d[0], 0.7)
+        assert _ids(got) == _ids(expected)
+
+    def test_knn_exact(self, points_2d, l2_metric):
+        index = GPUTable(EuclideanDistance())
+        index.build(points_2d)
+        got = index.knn_query(points_2d[5], 9)
+        expected = brute_force_knn(points_2d, l2_metric, points_2d[5], 9)
+        np.testing.assert_allclose(
+            sorted(d for _, d in got), sorted(d for _, d in expected), atol=1e-9
+        )
+
+    def test_supports_string_metrics(self, word_list):
+        index = GPUTable(EditDistance())
+        index.build(word_list)
+        assert len(index.knn_query("metric", 3)) == 3
+
+    def test_computes_all_distances(self, points_2d):
+        metric = EuclideanDistance()
+        index = GPUTable(metric)
+        index.build(points_2d)
+        metric.reset_counter()
+        index.range_query_batch([points_2d[0], points_2d[1]], 0.5)
+        assert metric.pair_count == 2 * len(points_2d)
+
+    def test_oom_on_huge_batch_with_small_device(self, points_2d):
+        device = Device(DeviceSpec(memory_bytes=64 * 1024))
+        index = GPUTable(EuclideanDistance(), device=device)
+        index.build(points_2d)
+        with pytest.raises(MemoryDeadlockError):
+            index.range_query_batch([points_2d[0]] * 64, 0.5)
+
+    def test_distance_table_memory_released_after_query(self, points_2d):
+        index = GPUTable(EuclideanDistance())
+        index.build(points_2d)
+        used = index.device.used_bytes
+        index.range_query_batch([points_2d[0]] * 8, 0.5)
+        assert index.device.used_bytes == used
+
+    def test_update_by_rebuild(self, points_2d):
+        index = GPUTable(EuclideanDistance())
+        index.build(points_2d)
+        obj_id = index.insert(np.array([90.0, 90.0]))
+        assert obj_id in _ids(index.range_query(np.array([90.0, 90.0]), 0.1))
+        index.delete(obj_id)
+        assert obj_id not in _ids(index.range_query(np.array([90.0, 90.0]), 0.1))
+
+
+class TestGPUTree:
+    def test_range_query_exact(self, points_2d, l2_metric):
+        index = GPUTree(EuclideanDistance(), num_trees=8)
+        index.build(points_2d)
+        got = index.range_query(points_2d[2], 0.8)
+        expected = brute_force_range(points_2d, l2_metric, points_2d[2], 0.8)
+        assert _ids(got) == _ids(expected)
+
+    def test_knn_exact(self, points_2d, l2_metric):
+        index = GPUTree(EuclideanDistance(), num_trees=8)
+        index.build(points_2d)
+        got = index.knn_query(points_2d[2], 5)
+        expected = brute_force_knn(points_2d, l2_metric, points_2d[2], 5)
+        np.testing.assert_allclose(
+            sorted(d for _, d in got), sorted(d for _, d in expected), atol=1e-9
+        )
+
+    def test_builds_multiple_trees(self, points_2d):
+        index = GPUTree(EuclideanDistance(), num_trees=16)
+        index.build(points_2d)
+        assert len(index._trees) == 16
+
+    def test_memory_deadlock_on_large_batch(self, points_2d):
+        """Fixed per-(query, tree) result buffers exhaust a small device (Fig. 9)."""
+        device = Device(DeviceSpec(memory_bytes=2 * MiB))
+        index = GPUTree(EuclideanDistance(), device=device, num_trees=32)
+        index.build(points_2d)
+        with pytest.raises(MemoryDeadlockError):
+            index.range_query_batch([points_2d[0]] * 512, 0.5)
+
+    def test_small_batch_fits_on_small_device(self, points_2d):
+        device = Device(DeviceSpec(memory_bytes=2 * MiB))
+        index = GPUTree(EuclideanDistance(), device=device, num_trees=4)
+        index.build(points_2d)
+        assert len(index.range_query_batch([points_2d[0]] * 4, 0.5)) == 4
+
+    def test_string_support(self, word_list):
+        index = GPUTree(EditDistance(), num_trees=4)
+        index.build(word_list)
+        got = index.range_query("metric", 1)
+        expected = brute_force_range(word_list, EditDistance(), "metric", 1)
+        assert _ids(got) == _ids(expected)
+
+
+class TestLBPGTree:
+    def test_only_lp_metrics_supported(self):
+        assert LBPGTree.supports_metric(EuclideanDistance())
+        assert LBPGTree.supports_metric(ManhattanDistance())
+        assert not LBPGTree.supports_metric(EditDistance())
+        assert not LBPGTree.supports_metric(AngularDistance())
+
+    def test_build_rejects_string_metric(self, word_list):
+        index = LBPGTree(EditDistance())
+        with pytest.raises(UnsupportedMetricError):
+            index.build(word_list)
+
+    def test_range_query_exact_l2(self, points_2d, l2_metric):
+        index = LBPGTree(EuclideanDistance(), leaf_size=16)
+        index.build(points_2d)
+        got = index.range_query(points_2d[0] + 0.01, 0.8)
+        expected = brute_force_range(points_2d, l2_metric, points_2d[0] + 0.01, 0.8)
+        assert _ids(got) == _ids(expected)
+
+    def test_range_query_exact_l1_highdim(self, points_highdim, l1_metric):
+        index = LBPGTree(ManhattanDistance(), leaf_size=16)
+        index.build(points_highdim)
+        got = index.range_query(points_highdim[0], 3.0)
+        expected = brute_force_range(points_highdim, l1_metric, points_highdim[0], 3.0)
+        assert _ids(got) == _ids(expected)
+
+    def test_knn_exact(self, points_2d, l2_metric):
+        index = LBPGTree(EuclideanDistance())
+        index.build(points_2d)
+        got = index.knn_query(points_2d[9], 4)
+        expected = brute_force_knn(points_2d, l2_metric, points_2d[9], 4)
+        np.testing.assert_allclose(
+            sorted(d for _, d in got), sorted(d for _, d in expected), atol=1e-9
+        )
+
+    def test_mbr_pruning_effective_in_low_dimension(self, points_2d):
+        metric = EuclideanDistance()
+        index = LBPGTree(metric)
+        index.build(points_2d)
+        metric.reset_counter()
+        index.range_query(points_2d[0], 0.2)
+        assert metric.pair_count < len(points_2d)
+
+    def test_storage_reported(self, points_2d):
+        index = LBPGTree(EuclideanDistance())
+        index.build(points_2d)
+        assert index.storage_bytes > 0
+
+
+class TestGANNS:
+    def test_vectors_only(self, word_list):
+        assert not GANNS.supports_metric(EditDistance())
+        index = GANNS(EditDistance())
+        with pytest.raises(UnsupportedMetricError):
+            index.build(word_list)
+
+    def test_no_range_queries(self, points_2d):
+        index = GANNS(EuclideanDistance())
+        index.build(points_2d)
+        with pytest.raises(BaselineError):
+            index.range_query(points_2d[0], 1.0)
+        assert index.supports_range is False
+
+    def test_knn_high_recall(self, points_2d, l2_metric):
+        index = GANNS(EuclideanDistance(), degree=16, ef_search=64)
+        index.build(points_2d)
+        recalls = []
+        for qi in range(10):
+            got = _ids(index.knn_query(points_2d[qi], 10))
+            expected = _ids(brute_force_knn(points_2d, l2_metric, points_2d[qi], 10))
+            recalls.append(len(got & expected) / 10)
+        assert np.mean(recalls) >= 0.8
+
+    def test_knn_returns_k_results(self, points_2d):
+        index = GANNS(EuclideanDistance())
+        index.build(points_2d)
+        assert len(index.knn_query(points_2d[0], 7)) == 7
+
+    def test_storage_larger_than_gts(self, points_2d):
+        """The proximity graph is much larger than GTS's node+table lists (Table 4)."""
+        ganns = GANNS(EuclideanDistance())
+        ganns.build(points_2d)
+        gts = GTSIndex(EuclideanDistance())
+        gts.build(points_2d)
+        assert ganns.storage_bytes > gts.storage_bytes
+
+    def test_is_marked_approximate(self):
+        assert GANNS.is_exact is False
+
+
+class TestGTSAdapter:
+    def test_matches_oracle(self, points_2d, l2_metric):
+        index = GTSIndex(EuclideanDistance())
+        index.build(points_2d)
+        got = index.range_query(points_2d[0], 0.9)
+        expected = brute_force_range(points_2d, l2_metric, points_2d[0], 0.9)
+        assert _ids(got) == _ids(expected)
+
+    def test_updates_through_adapter(self, points_2d):
+        index = GTSIndex(EuclideanDistance())
+        index.build(points_2d)
+        new_id = index.insert(np.array([77.0, 77.0]))
+        assert new_id in _ids(index.range_query(np.array([77.0, 77.0]), 0.1))
+        index.delete(new_id)
+        assert new_id not in _ids(index.range_query(np.array([77.0, 77.0]), 0.1))
+        assert index.live_ids().tolist().count(new_id) == 0
+
+    def test_batch_update_through_adapter(self, points_2d):
+        index = GTSIndex(EuclideanDistance())
+        index.build(points_2d)
+        index.batch_update(inserts=[np.array([88.0, 88.0])], deletes=[0])
+        assert 0 not in _ids(index.knn_query(points_2d[0], 1))
+
+    def test_exposes_wrapped_gts(self, points_2d):
+        index = GTSIndex(EuclideanDistance(), node_capacity=10)
+        index.build(points_2d)
+        assert index.gts.node_capacity == 10
+        assert index.storage_bytes == index.gts.storage_bytes
+
+    def test_is_gpu_flag(self):
+        assert GTSIndex.is_gpu and GPUTable.is_gpu
+        assert GTSIndex.is_exact

@@ -1,0 +1,205 @@
+"""Tests for the streaming-update cache table and the Section 5.3 cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cache_table import CacheTable
+from repro.core.cost_model import (
+    DistanceDistribution,
+    estimate_construction_cost,
+    estimate_distance_distribution,
+    estimate_query_cost,
+    recommend_node_capacity,
+    survival_probability,
+)
+from repro.exceptions import QueryError, UpdateError
+from repro.gpusim import Device, DeviceSpec
+from repro.metrics import EuclideanDistance
+
+
+class TestCacheTable:
+    def test_insert_and_contains(self):
+        cache = CacheTable(1024)
+        cache.insert(1, "hello")
+        assert 1 in cache and len(cache) == 1
+        assert cache.object_ids() == [1]
+
+    def test_duplicate_insert_rejected(self):
+        cache = CacheTable(1024)
+        cache.insert(1, "a")
+        with pytest.raises(UpdateError):
+            cache.insert(1, "b")
+
+    def test_remove(self):
+        cache = CacheTable(1024)
+        cache.insert(3, "abc")
+        assert cache.remove(3)
+        assert not cache.remove(3)
+        assert len(cache) == 0
+
+    def test_used_bytes_tracks_payload(self):
+        cache = CacheTable(1024)
+        cache.insert(0, "abcd")
+        cache.insert(1, np.zeros(4))
+        assert cache.used_bytes == 4 + 32
+        cache.remove(0)
+        assert cache.used_bytes == 32
+
+    def test_is_full_when_budget_exceeded(self):
+        cache = CacheTable(10)
+        cache.insert(0, "12345678")
+        assert not cache.is_full
+        cache.insert(1, "12345678")
+        assert cache.is_full
+
+    def test_clear(self):
+        cache = CacheTable(100)
+        cache.insert(0, "x")
+        cache.clear()
+        assert len(cache) == 0 and cache.used_bytes == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(UpdateError):
+            CacheTable(0)
+
+    def test_device_allocation_and_release(self):
+        device = Device(DeviceSpec())
+        cache = CacheTable(2048, device=device)
+        assert device.used_bytes == 2048
+        cache.release()
+        assert device.used_bytes == 0
+
+    def test_range_scan_matches_brute_force(self, rng):
+        metric = EuclideanDistance()
+        cache = CacheTable(1 << 20)
+        pts = rng.normal(size=(20, 2))
+        for i, p in enumerate(pts):
+            cache.insert(100 + i, p)
+        hits = cache.range_scan(metric, pts[0], 0.5)
+        expected = {100 + i for i, p in enumerate(pts) if np.linalg.norm(p - pts[0]) <= 0.5}
+        assert {o for o, _ in hits} == expected
+
+    def test_knn_scan_returns_k_smallest(self, rng):
+        metric = EuclideanDistance()
+        cache = CacheTable(1 << 20)
+        pts = rng.normal(size=(20, 2))
+        for i, p in enumerate(pts):
+            cache.insert(i, p)
+        got = cache.knn_scan(metric, pts[0], 3)
+        dists = sorted(np.linalg.norm(pts - pts[0], axis=1))[:3]
+        np.testing.assert_allclose(sorted(d for _, d in got), dists, atol=1e-9)
+
+    def test_scans_on_empty_cache(self):
+        cache = CacheTable(100)
+        assert cache.range_scan(EuclideanDistance(), np.zeros(2), 1.0) == []
+        assert cache.knn_scan(EuclideanDistance(), np.zeros(2), 3) == []
+
+    def test_scan_charges_device_time(self, rng):
+        device = Device(DeviceSpec())
+        cache = CacheTable(1 << 16, device=device)
+        for i in range(10):
+            cache.insert(i, rng.normal(size=2))
+        before = device.stats.kernel_launches
+        cache.range_scan(EuclideanDistance(), np.zeros(2), 1.0)
+        assert device.stats.kernel_launches == before + 1
+
+
+class TestSurvivalProbability:
+    def test_bounds(self):
+        assert 0.02 <= survival_probability(1.0, 0.5) <= 1.0
+        assert survival_probability(0.0, 1.0) == 1.0
+
+    def test_monotone_in_radius(self):
+        assert survival_probability(1.0, 2.0) >= survival_probability(1.0, 1.0)
+
+    def test_zero_radius_floor(self):
+        assert survival_probability(1.0, 0.0) == pytest.approx(0.02)
+
+
+class TestQueryCostModel:
+    def test_zero_objects_costs_nothing(self):
+        assert estimate_query_cost(0, 20, DeviceSpec(), 1.0, 1.0) == 0.0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(QueryError):
+            estimate_query_cost(100, 1, DeviceSpec(), 1.0, 1.0)
+
+    def test_cost_increases_with_dataset_size(self):
+        spec = DeviceSpec()
+        small = estimate_query_cost(1_000, 20, spec, sigma=1.0, radius=0.5)
+        large = estimate_query_cost(1_000_000, 20, spec, sigma=1.0, radius=0.5)
+        assert large > small
+
+    def test_cost_increases_with_metric_cost(self):
+        spec = DeviceSpec()
+        cheap = estimate_query_cost(10_000, 20, spec, 1.0, 0.5, metric_unit_cost=1.0)
+        expensive = estimate_query_cost(10_000, 20, spec, 1.0, 0.5, metric_unit_cost=500.0)
+        assert expensive > cheap
+
+    def test_more_cores_never_slower(self):
+        few = estimate_query_cost(100_000, 20, DeviceSpec(cores=64), 1.0, 0.5)
+        many = estimate_query_cost(100_000, 20, DeviceSpec(cores=8192), 1.0, 0.5)
+        assert many <= few
+
+    def test_construction_cost_scales_superlinearly_at_fixed_cores(self):
+        # measure the work term alone (no fixed kernel-launch overhead)
+        spec = DeviceSpec(cores=1024, kernel_launch_overhead=1e-15)
+        c1 = estimate_construction_cost(10_000, 20, spec)
+        c2 = estimate_construction_cost(100_000, 20, spec)
+        assert c2 > 10 * c1 * 0.5  # at least roughly linear growth
+
+    def test_construction_cost_zero_for_empty(self):
+        assert estimate_construction_cost(0, 20, DeviceSpec()) == 0.0
+
+    def test_recommend_node_capacity_from_candidates(self):
+        spec = DeviceSpec()
+        nc = recommend_node_capacity(50_000, spec, sigma=1.0, radius=0.3, candidates=(10, 20, 40, 80))
+        assert nc in (10, 20, 40, 80)
+
+    def test_recommend_requires_candidates(self):
+        with pytest.raises(QueryError):
+            recommend_node_capacity(1000, DeviceSpec(), 1.0, 1.0, candidates=())
+
+    def test_recommendation_prefers_small_capacity_when_selective(self):
+        """Strong pruning plus an expensive metric and n >> C favour deeper trees
+        (small Nc): the extra levels are cheap next to the leaf verifications
+        they avoid — the paper's "n >> C" regime of Section 5.3."""
+        spec = DeviceSpec(cores=64)
+        selective = recommend_node_capacity(
+            1_000_000, spec, sigma=5.0, radius=1.0, candidates=(10, 320),
+            metric_unit_cost=10_000.0,
+        )
+        assert selective == 10
+
+    def test_recommendation_prefers_large_capacity_when_pruning_is_useless(self):
+        """With no pruning signal, a shallow tree (large Nc) wins: more levels
+        only add synchronisation without removing any verification work —
+        the paper's "n << C" discussion of Section 5.3."""
+        spec = DeviceSpec(cores=64)
+        unselective = recommend_node_capacity(
+            100_000, spec, sigma=0.01, radius=10.0, candidates=(10, 320),
+            metric_unit_cost=1.0,
+        )
+        assert unselective == 320
+
+
+class TestDistanceDistribution:
+    def test_estimate_from_points(self, points_2d, l2_metric):
+        dist = estimate_distance_distribution(points_2d, l2_metric, sample_size=64)
+        assert dist.mean > 0 and dist.std > 0 and dist.max >= dist.mean
+        assert dist.sample_size > 0
+
+    def test_variance_property(self):
+        d = DistanceDistribution(mean=1.0, std=2.0, max=5.0, sample_size=10)
+        assert d.variance == pytest.approx(4.0)
+
+    def test_requires_two_objects(self, l2_metric):
+        with pytest.raises(QueryError):
+            estimate_distance_distribution(np.zeros((1, 2)), l2_metric)
+
+    def test_deterministic_given_rng(self, points_2d, l2_metric):
+        a = estimate_distance_distribution(points_2d, l2_metric, rng=np.random.default_rng(1))
+        b = estimate_distance_distribution(points_2d, l2_metric, rng=np.random.default_rng(1))
+        assert a.mean == b.mean and a.std == b.std

@@ -1,0 +1,194 @@
+"""Tests for the synthetic dataset generators and dataset utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_REGISTRY,
+    DEFAULT_CARDINALITIES,
+    Dataset,
+    available_datasets,
+    generate_color,
+    generate_dna,
+    generate_tloc,
+    generate_vector,
+    generate_words,
+    get_dataset,
+    make_duplicates,
+)
+from repro.exceptions import DatasetError
+from repro.metrics import AngularDistance, EditDistance, EuclideanDistance, ManhattanDistance
+
+
+class TestGenerators:
+    def test_all_five_paper_datasets_registered(self):
+        assert set(available_datasets()) == {"words", "tloc", "vector", "dna", "color"}
+
+    def test_words_properties(self):
+        ds = generate_words(300)
+        assert ds.cardinality == 300
+        assert isinstance(ds.metric, EditDistance)
+        assert all(isinstance(w, str) and 1 <= len(w) <= 34 for w in ds.objects)
+        assert ds.paper_cardinality == 611_756
+
+    def test_tloc_properties(self):
+        ds = generate_tloc(500)
+        assert isinstance(ds.metric, EuclideanDistance)
+        assert np.asarray(ds.objects).shape == (500, 2)
+
+    def test_vector_properties(self):
+        ds = generate_vector(200)
+        assert isinstance(ds.metric, AngularDistance)
+        arr = np.asarray(ds.objects)
+        assert arr.shape == (200, 300)
+        np.testing.assert_allclose(np.linalg.norm(arr, axis=1), 1.0, atol=1e-9)
+
+    def test_dna_properties(self):
+        ds = generate_dna(150)
+        assert isinstance(ds.metric, EditDistance)
+        assert all(set(read) <= set("ACGT") for read in ds.objects)
+        lengths = [len(r) for r in ds.objects]
+        assert 90 <= np.mean(lengths) <= 120
+
+    def test_color_properties(self):
+        ds = generate_color(250)
+        assert isinstance(ds.metric, ManhattanDistance)
+        arr = np.asarray(ds.objects)
+        assert arr.shape == (250, 282)
+        assert np.all(arr >= 0)
+
+    def test_default_cardinalities_preserve_paper_ordering(self):
+        assert DEFAULT_CARDINALITIES["tloc"] > DEFAULT_CARDINALITIES["color"]
+        assert DEFAULT_CARDINALITIES["color"] > DEFAULT_CARDINALITIES["vector"]
+
+    def test_generators_deterministic(self):
+        a = generate_words(100, seed=7)
+        b = generate_words(100, seed=7)
+        assert list(a.objects) == list(b.objects)
+        c = generate_tloc(100, seed=7)
+        d = generate_tloc(100, seed=7)
+        np.testing.assert_array_equal(np.asarray(c.objects), np.asarray(d.objects))
+
+    def test_different_seeds_differ(self):
+        a = generate_words(100, seed=1)
+        b = generate_words(100, seed=2)
+        assert list(a.objects) != list(b.objects)
+
+    def test_cardinality_validation(self):
+        with pytest.raises(DatasetError):
+            generate_words(1)
+
+    def test_get_dataset_by_name(self):
+        ds = get_dataset("tloc", cardinality=123, seed=5)
+        assert ds.cardinality == 123
+
+    def test_get_dataset_unknown_name(self):
+        with pytest.raises(DatasetError):
+            get_dataset("unknown")
+
+    def test_registry_factories_callable(self):
+        for name, factory in DATASET_REGISTRY.items():
+            ds = factory(cardinality=64)
+            assert ds.cardinality == 64, name
+
+
+class TestDatasetUtilities:
+    def test_subsample_fraction(self):
+        ds = generate_tloc(400)
+        sub = ds.subsample(0.25)
+        assert sub.cardinality == 100
+        assert sub.metric.name == ds.metric.name
+
+    def test_subsample_of_string_dataset(self):
+        ds = generate_words(200)
+        sub = ds.subsample(0.5)
+        assert sub.cardinality == 100
+        assert set(sub.objects) <= set(ds.objects)
+
+    def test_subsample_invalid_fraction(self):
+        ds = generate_tloc(100)
+        with pytest.raises(DatasetError):
+            ds.subsample(0.0)
+        with pytest.raises(DatasetError):
+            ds.subsample(1.5)
+
+    def test_sample_queries_count_and_type(self):
+        ds = generate_words(200)
+        queries = ds.sample_queries(10)
+        assert len(queries) == 10
+        assert all(isinstance(q, str) for q in queries)
+
+    def test_sample_queries_perturbation_optional(self):
+        ds = generate_tloc(200)
+        exact = ds.sample_queries(5, perturb=False)
+        data = np.asarray(ds.objects)
+        for q in exact:
+            assert any(np.allclose(q, row) for row in data)
+
+    def test_sample_queries_deterministic_given_seed(self):
+        ds = generate_tloc(200)
+        a = ds.sample_queries(5, seed=3)
+        b = ds.sample_queries(5, seed=3)
+        np.testing.assert_array_equal(np.asarray(a), np.asarray(b))
+
+    def test_make_duplicates_keeps_cardinality(self):
+        ds = generate_tloc(300)
+        dup = make_duplicates(ds, 0.2)
+        assert dup.cardinality == 300
+        arr = np.asarray(dup.objects)
+        unique_rows = np.unique(arr, axis=0)
+        assert len(unique_rows) <= 0.25 * 300
+
+    def test_make_duplicates_full_fraction_is_identityish(self):
+        ds = generate_tloc(100)
+        dup = make_duplicates(ds, 1.0)
+        assert dup.cardinality == 100
+
+    def test_make_duplicates_invalid_fraction(self):
+        ds = generate_tloc(100)
+        with pytest.raises(DatasetError):
+            make_duplicates(ds, 0.0)
+
+    def test_make_duplicates_strings(self):
+        ds = generate_words(200)
+        dup = make_duplicates(ds, 0.3)
+        assert dup.cardinality == 200
+        assert len(set(dup.objects)) <= len(set(ds.objects))
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(name="x", objects=[], metric=EuclideanDistance(), seed=0)
+
+    def test_len_and_repr(self):
+        ds = generate_tloc(50)
+        assert len(ds) == 50
+        assert "tloc" in repr(ds)
+
+
+class TestDatasetStructure:
+    def test_tloc_is_clustered(self):
+        """Clustered data: the nearest-neighbour distance is far below the mean distance."""
+        ds = generate_tloc(1000)
+        arr = np.asarray(ds.objects)
+        rng = np.random.default_rng(0)
+        idx = rng.choice(1000, size=50, replace=False)
+        sample = arr[idx]
+        d = np.sqrt(((sample[:, None, :] - arr[None, :500, :]) ** 2).sum(-1))
+        np.fill_diagonal(d[:, :50], np.inf)
+        assert np.median(d.min(axis=1)) < 0.1 * np.median(d)
+
+    def test_dna_reads_cluster_around_references(self):
+        ds = generate_dna(120)
+        metric = ds.metric
+        # a read should have at least one other read within a small edit distance
+        d = metric.pairwise(ds.objects[0], ds.objects[1:60])
+        assert d.min() < 25
+
+    def test_color_distances_have_spread(self):
+        """Pivot pruning needs a non-degenerate distance distribution."""
+        ds = generate_color(400)
+        arr = np.asarray(ds.objects)
+        d = np.abs(arr[:50, None, :] - arr[None, 50:150, :]).sum(-1)
+        assert d.std() > 0.05 * d.mean()

@@ -1,0 +1,92 @@
+"""Tests for the extension experiments (repro.evalsuite.extensions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalsuite import (
+    experiment_approximate_tradeoff,
+    experiment_extended_baselines,
+)
+from repro.evalsuite.runner import STATUS_OK
+
+
+class TestExtendedBaselinesExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return experiment_extended_baselines(
+            datasets=("tloc",),
+            methods=("MVPT", "LAESA", "LC", "GTS"),
+            num_queries=6,
+            cardinalities={"tloc": 350},
+        )
+
+    def test_every_method_reports_a_row(self, result):
+        methods = {row["method"] for row in result.rows}
+        assert methods == {"MVPT", "LAESA", "LC", "GTS"}
+
+    def test_all_rows_ok_on_small_workload(self, result):
+        assert all(row["status"] == STATUS_OK for row in result.rows)
+
+    def test_every_index_prunes_the_scan(self, result):
+        # the throughput ordering at full scale is the benchmark's job; at this
+        # tiny cardinality the unit test only checks that no exact index does
+        # materially more distance work than a per-query linear scan (the
+        # pivot/table overhead allows a small constant on top of n per query)
+        for row in result.rows:
+            assert 0 < row["mknn_distances"] < 2 * 6 * 350, row["method"]
+
+    def test_rows_carry_all_measurements(self, result):
+        for row in result.rows:
+            for key in ("build_time_s", "storage_mb", "mrq_throughput", "mknn_throughput", "mknn_distances"):
+                assert key in row, f"missing {key} in {row['method']}"
+                assert row[key] >= 0
+
+    def test_text_rendering(self, result):
+        text = result.to_text()
+        assert "extended-baselines" in text
+        assert "GTS" in text
+
+
+class TestApproximateTradeoffExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return experiment_approximate_tradeoff(
+            dataset_name="tloc",
+            beam_widths=(1, 512),
+            leaf_budgets=(1, 4),
+            num_queries=8,
+            num_training_queries=8,
+            node_capacity=8,
+            cardinality=400,
+        )
+
+    def test_exact_reference_row(self, result):
+        exact = result.filter(strategy="exact")
+        assert len(exact) == 1
+        assert exact[0]["recall"] == 1.0
+
+    def test_beam_rows_present_and_bounded(self, result):
+        beam = {row["parameter"]: row for row in result.filter(strategy="beam")}
+        assert set(beam) == {1, 512}
+        for row in beam.values():
+            assert 0.0 <= row["recall"] <= 1.0
+
+    def test_unbounded_beam_is_exact(self, result):
+        beam = {row["parameter"]: row for row in result.filter(strategy="beam")}
+        assert beam[512]["recall"] == pytest.approx(1.0)
+
+    def test_narrow_beam_cheaper_than_exact(self, result):
+        exact = result.filter(strategy="exact")[0]
+        beam = {row["parameter"]: row for row in result.filter(strategy="beam")}
+        assert beam[1]["distances"] < exact["distances"]
+
+    def test_learned_rows_monotone_in_budget(self, result):
+        learned = {row["parameter"]: row for row in result.filter(strategy="learned")}
+        assert set(learned) == {1, 4}
+        assert learned[4]["recall"] >= learned[1]["recall"] - 1e-9
+        assert learned[4]["distances"] >= learned[1]["distances"]
+
+    def test_throughputs_positive(self, result):
+        for row in result.rows:
+            assert row["throughput"] > 0

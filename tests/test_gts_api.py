@@ -1,0 +1,229 @@
+"""Tests for the public GTS facade: lifecycle, queries, errors and accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GTS, EditDistance, EuclideanDistance
+from repro.exceptions import IndexError_, QueryError, UpdateError
+from repro.gpusim import Device, DeviceSpec
+from tests.conftest import brute_force_knn, brute_force_range
+
+
+@pytest.fixture
+def index(points_2d, l2_metric):
+    return GTS.build(points_2d, l2_metric, node_capacity=8)
+
+
+class TestLifecycle:
+    def test_build_classmethod(self, points_2d, l2_metric):
+        index = GTS.build(points_2d, l2_metric)
+        assert index.num_objects == len(points_2d)
+        assert index.height >= 1
+
+    def test_unbuilt_index_rejects_queries(self, l2_metric):
+        index = GTS(l2_metric)
+        with pytest.raises(IndexError_):
+            index.range_query([0.0, 0.0], 1.0)
+
+    def test_empty_bulk_load_rejected(self, l2_metric):
+        index = GTS(l2_metric)
+        with pytest.raises(IndexError_):
+            index.bulk_load([])
+
+    def test_invalid_node_capacity_rejected(self, l2_metric):
+        with pytest.raises(IndexError_):
+            GTS(l2_metric, node_capacity=1)
+
+    def test_storage_and_build_result_exposed(self, index):
+        assert index.storage_bytes > 0
+        assert index.build_result.sim_time > 0
+        assert index.build_result.distance_computations > 0
+
+    def test_tree_invariants_after_build(self, index):
+        index.tree.check_invariants()
+
+    def test_close_releases_device_memory(self, points_2d, l2_metric):
+        device = Device(DeviceSpec())
+        index = GTS.build(points_2d, l2_metric, device=device)
+        assert device.used_bytes > 0
+        index.close()
+        assert device.used_bytes == 0
+
+    def test_len_and_repr(self, index, points_2d):
+        assert len(index) == len(points_2d)
+        assert "GTS" in repr(index)
+
+    def test_get_object_roundtrip(self, index, points_2d):
+        np.testing.assert_array_equal(index.get_object(5), points_2d[5])
+        with pytest.raises(IndexError_):
+            index.get_object(10_000)
+
+    def test_string_dataset(self, word_list):
+        index = GTS.build(word_list, EditDistance(), node_capacity=4)
+        hits = index.range_query("metric", 1)
+        assert all(isinstance(o, int) for o, _ in hits)
+
+
+class TestQueries:
+    def test_single_range_query_matches_brute_force(self, index, points_2d, l2_metric):
+        got = index.range_query(points_2d[0], 1.0)
+        expected = brute_force_range(points_2d, l2_metric, points_2d[0], 1.0)
+        assert {o for o, _ in got} == {o for o, _ in expected}
+
+    def test_batch_range_query(self, index, points_2d, l2_metric):
+        queries = [points_2d[i] for i in range(5)]
+        got = index.range_query_batch(queries, 0.8)
+        assert len(got) == 5
+        for qi, q in enumerate(queries):
+            expected = brute_force_range(points_2d, l2_metric, q, 0.8)
+            assert {o for o, _ in got[qi]} == {o for o, _ in expected}
+
+    def test_single_knn_matches_brute_force(self, index, points_2d, l2_metric):
+        got = index.knn_query(points_2d[3], 7)
+        expected = brute_force_knn(points_2d, l2_metric, points_2d[3], 7)
+        np.testing.assert_allclose(
+            sorted(d for _, d in got), sorted(d for _, d in expected), atol=1e-9
+        )
+
+    def test_batch_knn_query_lengths(self, index, points_2d):
+        got = index.knn_query_batch([points_2d[0], points_2d[1]], 3)
+        assert [len(r) for r in got] == [3, 3]
+
+    def test_invalid_k_rejected(self, index, points_2d):
+        with pytest.raises(QueryError):
+            index.knn_query(points_2d[0], 0)
+
+    def test_prune_mode_option(self, points_2d, l2_metric):
+        index = GTS.build(points_2d, l2_metric, prune_mode="one-sided")
+        got = index.range_query(points_2d[0], 0.5)
+        expected = brute_force_range(points_2d, l2_metric, points_2d[0], 0.5)
+        assert {o for o, _ in got} == {o for o, _ in expected}
+
+    def test_recommend_node_capacity_returns_candidate(self, index):
+        nc = index.recommend_node_capacity(radius=0.5, candidates=(10, 20, 40))
+        assert nc in (10, 20, 40)
+
+    def test_distance_distribution_summary(self, index):
+        dist = index.distance_distribution(sample_size=64)
+        assert dist.mean > 0 and dist.std >= 0 and dist.max >= dist.mean
+
+
+class TestStreamingUpdates:
+    def test_insert_visible_in_queries(self, index):
+        new = np.array([123.0, 456.0])
+        obj_id = index.insert(new)
+        hits = index.range_query(new, 0.1)
+        assert (obj_id, 0.0) in hits
+
+    def test_insert_goes_to_cache_first(self, index):
+        before = index.num_indexed
+        index.insert(np.array([1.0, 1.0]))
+        assert index.cache_size == 1
+        assert index.num_indexed == before
+
+    def test_delete_hides_object(self, index, points_2d):
+        index.delete(0)
+        hits = index.range_query(points_2d[0], 0.001)
+        assert 0 not in {o for o, _ in hits}
+        assert not index.is_live(0)
+
+    def test_delete_cached_object(self, index):
+        obj_id = index.insert(np.array([9.0, 9.0]))
+        index.delete(obj_id)
+        assert index.cache_size == 0
+        assert 0 not in {o for o, _ in index.range_query(np.array([9.0, 9.0]), 0.01)}
+
+    def test_double_delete_rejected(self, index):
+        index.delete(1)
+        with pytest.raises(UpdateError):
+            index.delete(1)
+
+    def test_delete_unknown_id_rejected(self, index):
+        with pytest.raises(UpdateError):
+            index.delete(999_999)
+
+    def test_update_replaces_object(self, index, points_2d):
+        new_id = index.update(2, np.array([50.0, 50.0]))
+        assert not index.is_live(2)
+        hits = index.range_query(np.array([50.0, 50.0]), 0.01)
+        assert new_id in {o for o, _ in hits}
+
+    def test_num_objects_tracks_updates(self, index, points_2d):
+        n = len(points_2d)
+        index.insert(np.array([0.0, 0.0]))
+        assert index.num_objects == n + 1
+        index.delete(0)
+        assert index.num_objects == n
+
+    def test_cache_overflow_triggers_rebuild(self, points_2d, l2_metric):
+        index = GTS.build(points_2d, l2_metric, cache_capacity_bytes=64)
+        inserted = []
+        for i in range(10):
+            inserted.append(index.insert(np.array([100.0 + i, 100.0])))
+        assert index.rebuild_count >= 1
+        # after the rebuild the objects are in the tree, not the cache
+        assert index.cache_size < 10
+        hits = index.range_query(np.array([100.0, 100.0]), 0.01)
+        assert inserted[0] in {o for o, _ in hits}
+
+    def test_queries_merge_cache_and_tree(self, index, points_2d, l2_metric):
+        new = points_2d[0] + 0.001
+        new_id = index.insert(new)
+        got = index.knn_query(points_2d[0], 3)
+        ids = {o for o, _ in got}
+        assert new_id in ids
+
+    def test_knn_after_many_deletes_still_exact(self, points_2d, l2_metric):
+        index = GTS.build(points_2d, l2_metric, node_capacity=8)
+        for victim in range(0, 50):
+            index.delete(victim)
+        remaining = points_2d[50:]
+        got = index.knn_query(points_2d[60], 5)
+        expected = brute_force_knn(remaining, l2_metric, points_2d[60], 5)
+        np.testing.assert_allclose(
+            sorted(d for _, d in got), sorted(d for _, d in expected), atol=1e-9
+        )
+
+
+class TestBatchUpdatesAndRebuild:
+    def test_manual_rebuild_clears_tombstones_and_cache(self, index):
+        index.delete(0)
+        index.insert(np.array([77.0, 77.0]))
+        index.rebuild()
+        assert index.cache_size == 0
+        assert index.num_indexed == index.num_objects
+
+    def test_batch_update_insert_and_delete(self, index, points_2d):
+        inserts = [np.array([200.0 + i, 0.0]) for i in range(5)]
+        index.batch_update(inserts=inserts, deletes=[0, 1, 2])
+        assert index.num_objects == len(points_2d) - 3 + 5
+        hits = index.range_query(np.array([200.0, 0.0]), 0.01)
+        assert len(hits) == 1
+
+    def test_batch_update_unknown_delete_rejected(self, index):
+        with pytest.raises(UpdateError):
+            index.batch_update(deletes=[123_456])
+
+    def test_rebuild_count_increments(self, index):
+        assert index.rebuild_count == 0
+        index.rebuild()
+        assert index.rebuild_count == 1
+
+    def test_queries_exact_after_batch_update(self, index, points_2d, l2_metric):
+        index.batch_update(deletes=list(range(10)))
+        remaining = points_2d[10:]
+        got = index.range_query(points_2d[20], 1.0)
+        expected = brute_force_range(remaining, l2_metric, points_2d[20], 1.0)
+        # ids are preserved, so shift the expected ids by the deleted prefix
+        expected_ids = {o + 10 for o, _ in expected}
+        assert {o for o, _ in got} == expected_ids
+
+    def test_device_memory_stable_across_rebuilds(self, points_2d, l2_metric):
+        device = Device(DeviceSpec())
+        index = GTS.build(points_2d, l2_metric, device=device)
+        used_after_build = device.used_bytes
+        for _ in range(3):
+            index.rebuild()
+        assert device.used_bytes == pytest.approx(used_after_build, rel=0.05)

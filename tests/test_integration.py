@@ -1,0 +1,149 @@
+"""End-to-end integration tests across modules.
+
+These tests exercise realistic mini-workflows: build an index over a
+generated dataset, run mixed query/update workloads, compare every method's
+answers on the same workload, and check that the simulated accounting stays
+consistent throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GTS
+from repro.baselines import METHOD_REGISTRY, GTSIndex, LinearScan
+from repro.datasets import generate_color, generate_dna, generate_tloc, generate_vector, generate_words
+from repro.evalsuite import MethodRunner, make_workload
+from repro.gpusim import Device, DeviceSpec, MiB
+
+
+@pytest.fixture(scope="module")
+def datasets_small():
+    return {
+        "words": generate_words(250, seed=11),
+        "tloc": generate_tloc(700, seed=11),
+        "vector": generate_vector(150, seed=11),
+        "dna": generate_dna(80, seed=11),
+        "color": generate_color(250, seed=11),
+    }
+
+
+class TestEndToEndPerDataset:
+    @pytest.mark.parametrize("name", ["words", "tloc", "vector", "dna", "color"])
+    def test_gts_matches_linear_scan_on_every_paper_dataset(self, datasets_small, name):
+        dataset = datasets_small[name]
+        workload = make_workload(dataset, num_queries=6, radius_step=8, k=5)
+        oracle = LinearScan(dataset.metric)
+        oracle.build(dataset.objects)
+        gts = GTSIndex(dataset.metric, node_capacity=8)
+        gts.build(dataset.objects)
+
+        truth_r = oracle.range_query_batch(workload.queries, workload.radius)
+        got_r = gts.range_query_batch(workload.queries, workload.radius)
+        for a, b in zip(got_r, truth_r):
+            assert {o for o, _ in a} == {o for o, _ in b}
+
+        truth_k = oracle.knn_query_batch(workload.queries, workload.k)
+        got_k = gts.knn_query_batch(workload.queries, workload.k)
+        for a, b in zip(got_k, truth_k):
+            np.testing.assert_allclose(
+                sorted(d for _, d in a), sorted(d for _, d in b), atol=1e-9
+            )
+
+
+class TestAllMethodsAgreeOnOneWorkload:
+    def test_exact_methods_agree(self, datasets_small):
+        dataset = datasets_small["tloc"]
+        workload = make_workload(dataset, num_queries=4, radius_step=8, k=5)
+        reference = None
+        for name in ("LinearScan", "BST", "MVPT", "EGNAT", "GPU-Table", "GPU-Tree", "LBPG-Tree", "GTS"):
+            index = METHOD_REGISTRY[name](dataset.metric)
+            index.build(dataset.objects)
+            answers = index.range_query_batch(workload.queries, workload.radius)
+            ids = [frozenset(o for o, _ in a) for a in answers]
+            if reference is None:
+                reference = ids
+            else:
+                assert ids == reference, f"{name} disagrees with LinearScan on MRQ"
+
+
+class TestMixedWorkload:
+    def test_interleaved_queries_and_updates_stay_exact(self, datasets_small):
+        dataset = datasets_small["tloc"]
+        objects = list(np.asarray(dataset.objects))
+        gts = GTS.build(objects, dataset.metric, node_capacity=10, cache_capacity_bytes=192)
+        oracle: dict[int, np.ndarray] = {i: obj for i, obj in enumerate(objects)}
+        rng = np.random.default_rng(99)
+        next_obj = len(objects)
+        for step in range(60):
+            action = rng.random()
+            if action < 0.3:
+                new = rng.normal(size=2) * 10
+                new_id = gts.insert(new)
+                oracle[new_id] = new
+                next_obj += 1
+            elif action < 0.5 and len(oracle) > 10:
+                victim = int(rng.choice(list(oracle)))
+                gts.delete(victim)
+                del oracle[victim]
+            else:
+                query = rng.normal(size=2) * 10
+                k = int(rng.integers(1, 6))
+                got = gts.knn_query(query, k)
+                ids = np.array(list(oracle))
+                objs = np.stack([oracle[i] for i in ids])
+                dists = np.sqrt(((objs - query) ** 2).sum(1))
+                expected = np.sort(dists)[:k]
+                np.testing.assert_allclose(
+                    np.array([d for _, d in got]), expected, atol=1e-9
+                )
+        # the cache must have spilled into at least one rebuild along the way
+        assert gts.rebuild_count >= 1
+
+    def test_rebuild_preserves_memory_bounds(self, datasets_small):
+        dataset = datasets_small["color"]
+        device = Device(DeviceSpec(memory_bytes=64 * MiB))
+        gts = GTS.build(list(np.asarray(dataset.objects)), dataset.metric, device=device,
+                        cache_capacity_bytes=1024)
+        for i in range(40):
+            gts.insert(np.asarray(dataset.objects)[i % 50] * 1.01)
+        assert device.used_bytes <= device.capacity_bytes
+        assert gts.num_objects == dataset.cardinality + 40
+
+
+class TestRunnerAcrossMethods:
+    def test_runner_builds_every_general_method_on_tloc(self, datasets_small):
+        dataset = datasets_small["tloc"]
+        wl = make_workload(dataset, num_queries=4)
+        for method in ("BST", "MVPT", "EGNAT", "GPU-Table", "GPU-Tree", "GTS"):
+            runner = MethodRunner(method, dataset)
+            build = runner.build()
+            assert build.status == "ok", method
+            res = runner.run_knn(wl.queries, 3)
+            assert res.status == "ok", method
+            assert res.sim_time > 0
+
+    def test_gpu_methods_slower_than_gts_on_expensive_metric(self, datasets_small):
+        """Headline shape: GTS beats the brute-force GPU table on DNA (expensive metric)."""
+        dataset = datasets_small["dna"]
+        wl = make_workload(dataset, num_queries=8, radius_step=4)
+        gts_runner = MethodRunner("GTS", dataset)
+        gts_runner.build()
+        table_runner = MethodRunner("GPU-Table", dataset)
+        table_runner.build()
+        gts_res = gts_runner.run_mrq(wl.queries, wl.radius)
+        table_res = table_runner.run_mrq(wl.queries, wl.radius)
+        assert gts_res.distance_computations < table_res.distance_computations
+
+    def test_cpu_methods_much_slower_than_gts_on_large_batch(self, datasets_small):
+        """Headline shape: batched GTS beats the sequential CPU tree on throughput."""
+        dataset = datasets_small["tloc"]
+        wl = make_workload(dataset, num_queries=64)
+        gts_runner = MethodRunner("GTS", dataset)
+        gts_runner.build()
+        cpu_runner = MethodRunner("MVPT", dataset)
+        cpu_runner.build()
+        gts_res = gts_runner.run_mrq(wl.queries, wl.radius)
+        cpu_res = cpu_runner.run_mrq(wl.queries, wl.radius)
+        assert gts_res.throughput > cpu_res.throughput

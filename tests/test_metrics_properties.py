@@ -1,0 +1,112 @@
+"""Property-based tests of the metric axioms (Section 3 of the paper).
+
+Every metric the library ships must satisfy non-negativity, identity of
+indiscernibles (in the weak ``d(x, x) = 0`` form), symmetry and the triangle
+inequality — the pruning lemmas of GTS are only correct under these axioms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (
+    AngularDistance,
+    ChebyshevDistance,
+    EditDistance,
+    EuclideanDistance,
+    ManhattanDistance,
+)
+
+VECTOR = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False),
+    min_size=3,
+    max_size=3,
+)
+WORD = st.text(alphabet="abcde", min_size=0, max_size=12)
+
+VECTOR_METRICS = [EuclideanDistance, ManhattanDistance, ChebyshevDistance]
+
+
+@pytest.mark.parametrize("metric_cls", VECTOR_METRICS)
+@given(a=VECTOR, b=VECTOR)
+@settings(max_examples=60, deadline=None)
+def test_vector_metric_non_negative_and_symmetric(metric_cls, a, b):
+    metric = metric_cls()
+    d_ab = metric.distance(a, b)
+    d_ba = metric.distance(b, a)
+    assert d_ab >= 0
+    assert d_ab == pytest.approx(d_ba, rel=1e-9, abs=1e-9)
+
+
+@pytest.mark.parametrize("metric_cls", VECTOR_METRICS)
+@given(a=VECTOR)
+@settings(max_examples=40, deadline=None)
+def test_vector_metric_identity(metric_cls, a):
+    metric = metric_cls()
+    assert metric.distance(a, a) == pytest.approx(0.0, abs=1e-9)
+
+
+@pytest.mark.parametrize("metric_cls", VECTOR_METRICS)
+@given(a=VECTOR, b=VECTOR, c=VECTOR)
+@settings(max_examples=60, deadline=None)
+def test_vector_metric_triangle_inequality(metric_cls, a, b, c):
+    metric = metric_cls()
+    d_ab = metric.distance(a, b)
+    d_ac = metric.distance(a, c)
+    d_cb = metric.distance(c, b)
+    assert d_ab <= d_ac + d_cb + 1e-9
+
+
+@given(a=WORD, b=WORD)
+@settings(max_examples=80, deadline=None)
+def test_edit_distance_symmetric_and_bounded(a, b):
+    metric = EditDistance()
+    d = metric.distance(a, b)
+    assert d == metric.distance(b, a)
+    assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+
+@given(a=WORD, b=WORD, c=WORD)
+@settings(max_examples=80, deadline=None)
+def test_edit_distance_triangle_inequality(a, b, c):
+    metric = EditDistance()
+    assert metric.distance(a, b) <= metric.distance(a, c) + metric.distance(c, b)
+
+
+@given(a=WORD)
+@settings(max_examples=40, deadline=None)
+def test_edit_distance_identity(a):
+    assert EditDistance().distance(a, a) == 0
+
+
+@given(a=VECTOR, b=VECTOR, c=VECTOR)
+@settings(max_examples=60, deadline=None)
+def test_angular_distance_triangle_inequality(a, b, c):
+    # avoid degenerate zero vectors, for which angular distance is defined as 0
+    if not any(a) or not any(b) or not any(c):
+        return
+    metric = AngularDistance()
+    d_ab = metric.distance(a, b)
+    d_ac = metric.distance(a, c)
+    d_cb = metric.distance(c, b)
+    assert d_ab <= d_ac + d_cb + 1e-7
+
+
+@given(a=VECTOR, b=VECTOR)
+@settings(max_examples=60, deadline=None)
+def test_angular_distance_range(a, b):
+    metric = AngularDistance()
+    d = metric.distance(a, b)
+    assert -1e-9 <= d <= 1.0 + 1e-9
+
+
+@pytest.mark.parametrize("metric_cls", VECTOR_METRICS)
+@given(data=st.lists(VECTOR, min_size=2, max_size=8), q=VECTOR)
+@settings(max_examples=30, deadline=None)
+def test_pairwise_consistent_with_distance(metric_cls, data, q):
+    metric = metric_cls()
+    pair = metric.pairwise(q, data)
+    individual = [metric.distance(q, x) for x in data]
+    np.testing.assert_allclose(pair, individual, rtol=1e-9, atol=1e-9)

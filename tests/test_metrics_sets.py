@@ -1,0 +1,207 @@
+"""Tests for the set-valued metrics (Jaccard, Hausdorff) in repro.metrics.sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import GTS
+from repro.exceptions import MetricError
+from repro.metrics import (
+    EuclideanDistance,
+    HausdorffDistance,
+    JaccardDistance,
+    ManhattanDistance,
+    available_metrics,
+    get_metric,
+    hausdorff_distance,
+    jaccard_distance,
+)
+
+ITEM_SET = st.frozensets(st.integers(min_value=0, max_value=20), max_size=10)
+POINT_SET = st.lists(
+    st.tuples(
+        st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False),
+        st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=5,
+).map(lambda pts: np.asarray(pts, dtype=np.float64))
+
+
+# --------------------------------------------------------------------------
+# Jaccard distance
+# --------------------------------------------------------------------------
+class TestJaccardExamples:
+    def test_known_values(self):
+        assert jaccard_distance({1, 2, 3}, {1, 2, 3}) == 0.0
+        assert jaccard_distance({1, 2}, {3, 4}) == 1.0
+        assert jaccard_distance({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_empty_sets(self):
+        assert jaccard_distance(set(), set()) == 0.0
+        assert jaccard_distance({1}, set()) == 1.0
+
+    def test_accepts_any_iterable(self):
+        assert jaccard_distance([1, 2, 2, 3], (3, 2, 1)) == 0.0
+
+    def test_counter_increments(self):
+        metric = JaccardDistance()
+        metric.pairwise({1, 2}, [{1}, {2}, {3}])
+        assert metric.pair_count == 3
+
+    def test_validate_rejects_strings(self):
+        with pytest.raises(MetricError):
+            JaccardDistance().validate_objects(["abc", "def"])
+
+    def test_validate_rejects_non_iterables(self):
+        with pytest.raises(MetricError):
+            JaccardDistance().validate_objects([1, 2, 3])
+
+    def test_registered(self):
+        assert "jaccard" in available_metrics()
+        assert isinstance(get_metric("jaccard"), JaccardDistance)
+
+
+@given(a=ITEM_SET, b=ITEM_SET)
+@settings(max_examples=60, deadline=None)
+def test_jaccard_non_negative_symmetric_bounded(a, b):
+    d_ab = jaccard_distance(a, b)
+    assert 0.0 <= d_ab <= 1.0
+    assert d_ab == pytest.approx(jaccard_distance(b, a))
+
+
+@given(a=ITEM_SET)
+@settings(max_examples=40, deadline=None)
+def test_jaccard_identity(a):
+    assert jaccard_distance(a, a) == 0.0
+
+
+@given(a=ITEM_SET, b=ITEM_SET, c=ITEM_SET)
+@settings(max_examples=80, deadline=None)
+def test_jaccard_triangle_inequality(a, b, c):
+    assert jaccard_distance(a, b) <= jaccard_distance(a, c) + jaccard_distance(c, b) + 1e-12
+
+
+class TestJaccardWithIndexes:
+    def test_gts_exact_over_tag_sets(self, rng):
+        universe = list(range(30))
+        objects = [
+            frozenset(rng.choice(universe, size=rng.integers(2, 8), replace=False).tolist())
+            for _ in range(200)
+        ]
+        metric = JaccardDistance()
+        index = GTS.build(objects, metric, node_capacity=6, seed=11)
+        oracle = JaccardDistance()
+        query = objects[0]
+        got = {o for o, _ in index.range_query(query, 0.4)}
+        expected = {
+            i for i, obj in enumerate(objects) if oracle.distance(query, obj) <= 0.4
+        }
+        assert got == expected
+
+    def test_gts_knn_over_tag_sets(self, rng):
+        universe = list(range(25))
+        objects = [
+            frozenset(rng.choice(universe, size=rng.integers(2, 6), replace=False).tolist())
+            for _ in range(150)
+        ]
+        index = GTS.build(objects, JaccardDistance(), node_capacity=6, seed=12)
+        oracle = JaccardDistance()
+        query = objects[5]
+        got = index.knn_query(query, 4)
+        brute = sorted(oracle.distance(query, obj) for obj in objects)[:4]
+        assert sorted(d for _, d in got) == pytest.approx(brute)
+
+
+# --------------------------------------------------------------------------
+# Hausdorff distance
+# --------------------------------------------------------------------------
+class TestHausdorffExamples:
+    def test_identical_sets(self):
+        a = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert hausdorff_distance(a, a) == 0.0
+
+    def test_known_value(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        assert hausdorff_distance(a, b) == pytest.approx(5.0)
+
+    def test_asymmetric_sets(self):
+        a = np.array([[0.0, 0.0], [10.0, 0.0]])
+        b = np.array([[0.0, 0.0]])
+        # the farthest point of a from b dominates
+        assert hausdorff_distance(a, b) == pytest.approx(10.0)
+
+    def test_both_empty(self):
+        assert hausdorff_distance(np.zeros((0, 2)), np.zeros((0, 2))) == 0.0
+
+    def test_one_empty_rejected(self):
+        with pytest.raises(MetricError):
+            hausdorff_distance(np.zeros((0, 2)), np.array([[1.0, 1.0]]))
+
+    def test_inner_metric_respected(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 1.0]])
+        assert hausdorff_distance(a, b, inner=ManhattanDistance()) == pytest.approx(2.0)
+        assert hausdorff_distance(a, b, inner=EuclideanDistance()) == pytest.approx(np.sqrt(2))
+
+    def test_metric_class_name_and_cost(self):
+        metric = HausdorffDistance(inner=ManhattanDistance())
+        assert "l1" in metric.name
+        assert metric.unit_cost > ManhattanDistance().unit_cost
+
+    def test_validate_rejects_empty_member(self):
+        with pytest.raises(MetricError):
+            HausdorffDistance().validate_objects([np.zeros((0, 2))])
+
+    def test_registered(self):
+        assert "hausdorff" in available_metrics()
+        assert isinstance(get_metric("hausdorff"), HausdorffDistance)
+
+
+# The vectorised L2 cross-distance kernel uses the quadratic expansion, whose
+# floating-point error is on the order of 1e-6 for coordinates around 1e2, so
+# the axiom checks allow that much slack.
+HAUSDORFF_EPS = 1e-5
+
+
+@given(a=POINT_SET, b=POINT_SET)
+@settings(max_examples=50, deadline=None)
+def test_hausdorff_non_negative_and_symmetric(a, b):
+    d_ab = hausdorff_distance(a, b)
+    assert d_ab >= 0.0
+    assert d_ab == pytest.approx(hausdorff_distance(b, a), rel=1e-9, abs=HAUSDORFF_EPS)
+
+
+@given(a=POINT_SET)
+@settings(max_examples=30, deadline=None)
+def test_hausdorff_identity(a):
+    assert hausdorff_distance(a, a) == pytest.approx(0.0, abs=HAUSDORFF_EPS)
+
+
+@given(a=POINT_SET, b=POINT_SET, c=POINT_SET)
+@settings(max_examples=50, deadline=None)
+def test_hausdorff_triangle_inequality(a, b, c):
+    d_ab = hausdorff_distance(a, b)
+    d_ac = hausdorff_distance(a, c)
+    d_cb = hausdorff_distance(c, b)
+    assert d_ab <= d_ac + d_cb + HAUSDORFF_EPS
+
+
+class TestHausdorffWithIndexes:
+    def test_gts_exact_over_trajectories(self, rng):
+        # short random-walk trajectories: metric search over shape data
+        trajectories = []
+        for _ in range(120):
+            start = rng.normal(scale=5.0, size=2)
+            steps = rng.normal(scale=0.4, size=(rng.integers(2, 6), 2))
+            trajectories.append(start + np.cumsum(steps, axis=0))
+        metric = HausdorffDistance()
+        index = GTS.build(trajectories, metric, node_capacity=5, seed=13)
+        oracle = HausdorffDistance()
+        query = trajectories[3]
+        got = index.knn_query(query, 5)
+        brute = sorted(oracle.distance(query, t) for t in trajectories)[:5]
+        assert sorted(d for _, d in got) == pytest.approx(brute)

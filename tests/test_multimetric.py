@@ -1,0 +1,171 @@
+"""Tests for the multi-column extension (Section 5.2, Remark): MultiColumnGTS."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multimetric import MultiColumnGTS
+from repro.exceptions import IndexError_, QueryError
+from repro.metrics import EditDistance, EuclideanDistance
+
+
+@pytest.fixture
+def records(rng):
+    """Two-column records: a 2-d location plus a short text label."""
+    labels = ["cafe", "bar", "museum", "park", "station", "market", "cinema", "library"]
+    out = []
+    for _ in range(180):
+        location = rng.normal(scale=5.0, size=2)
+        label = labels[int(rng.integers(0, len(labels)))]
+        if rng.random() < 0.3:
+            label = label + "s"
+        out.append((location, label))
+    return out
+
+
+@pytest.fixture
+def index(records):
+    return MultiColumnGTS.build(
+        records,
+        metrics=[EuclideanDistance(), EditDistance()],
+        weights=[1.0, 0.5],
+        node_capacity=8,
+    )
+
+
+def brute_force_aggregate(records, metrics, weights, query):
+    dists = []
+    for record in records:
+        total = sum(
+            w * m.distance(qv, rv) for qv, rv, m, w in zip(query, record, metrics, weights)
+        )
+        dists.append(total)
+    return np.asarray(dists)
+
+
+class TestConstruction:
+    def test_build_and_sizes(self, index, records):
+        assert index.num_records == len(records)
+        assert index.num_columns == 2
+        assert len(index) == len(records)
+
+    def test_column_access(self, index):
+        assert index.column(0).num_objects == index.num_records
+        assert index.column(1).num_objects == index.num_records
+
+    def test_get_record_roundtrip(self, index, records):
+        loc, label = index.get_record(3)
+        np.testing.assert_array_equal(loc, records[3][0])
+        assert label == records[3][1]
+        with pytest.raises(IndexError_):
+            index.get_record(10_000)
+
+    def test_requires_metrics(self):
+        with pytest.raises(IndexError_):
+            MultiColumnGTS(metrics=[])
+
+    def test_weight_validation(self):
+        with pytest.raises(IndexError_):
+            MultiColumnGTS([EuclideanDistance()], weights=[1.0, 2.0])
+        with pytest.raises(IndexError_):
+            MultiColumnGTS([EuclideanDistance()], weights=[-1.0])
+
+    def test_column_count_validation(self):
+        index = MultiColumnGTS([EuclideanDistance(), EditDistance()])
+        with pytest.raises(IndexError_):
+            index.bulk_load([(np.zeros(2),)])
+
+    def test_empty_bulk_load_rejected(self):
+        index = MultiColumnGTS([EuclideanDistance()])
+        with pytest.raises(IndexError_):
+            index.bulk_load([])
+
+    def test_query_before_build_rejected(self):
+        index = MultiColumnGTS([EuclideanDistance(), EditDistance()])
+        with pytest.raises(IndexError_):
+            index.knn_query((np.zeros(2), "cafe"), 3)
+
+
+class TestMultiColumnRangeQuery:
+    def test_conjunctive_semantics(self, index, records):
+        query = (records[0][0], records[0][1])
+        hits = index.range_query(query, radii=[1.0, 1.0])
+        ids = {oid for oid, _ in hits}
+        l2, edit = EuclideanDistance(), EditDistance()
+        expected = {
+            i
+            for i, (loc, label) in enumerate(records)
+            if l2.distance(query[0], loc) <= 1.0 and edit.distance(query[1], label) <= 1.0
+        }
+        assert ids == expected
+        assert 0 in ids
+
+    def test_returns_per_column_distances(self, index, records):
+        query = (records[5][0], records[5][1])
+        hits = index.range_query(query, radii=[0.5, 0.0])
+        for oid, dists in hits:
+            assert len(dists) == 2
+            assert dists[0] <= 0.5 and dists[1] <= 0.0
+
+    def test_zero_radius_returns_exact_duplicates(self, index, records):
+        query = (records[7][0], records[7][1])
+        hits = index.range_query(query, radii=[0.0, 0.0])
+        assert 7 in {oid for oid, _ in hits}
+
+    def test_empty_result_possible(self, index):
+        hits = index.range_query((np.array([1e6, 1e6]), "zzzzzz"), radii=[0.1, 0.0])
+        assert hits == []
+
+    def test_dimension_validation(self, index):
+        with pytest.raises(QueryError):
+            index.range_query((np.zeros(2),), radii=[1.0])
+
+
+class TestMultiColumnKnn:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_matches_brute_force_aggregate(self, index, records, k):
+        metrics = [EuclideanDistance(), EditDistance()]
+        weights = [1.0, 0.5]
+        query = (records[11][0] + 0.05, records[11][1])
+        got = index.knn_query(query, k)
+        truth = np.sort(brute_force_aggregate(records, metrics, weights, query))[:k]
+        np.testing.assert_allclose(sorted(d for _, d in got), truth, atol=1e-9)
+
+    def test_k_larger_than_dataset(self, index, records):
+        got = index.knn_query((records[0][0], records[0][1]), k=10_000)
+        assert len(got) == len(records)
+
+    def test_invalid_k(self, index, records):
+        with pytest.raises(QueryError):
+            index.knn_query((records[0][0], records[0][1]), 0)
+
+    def test_weights_change_the_ranking(self, records):
+        """With a huge text weight the nearest record must share the text label."""
+        location_only = MultiColumnGTS.build(
+            records, metrics=[EuclideanDistance(), EditDistance()], weights=[1.0, 0.0],
+            node_capacity=8,
+        )
+        text_heavy = MultiColumnGTS.build(
+            records, metrics=[EuclideanDistance(), EditDistance()], weights=[0.001, 10.0],
+            node_capacity=8,
+        )
+        query = (records[2][0] + 40.0, records[2][1])
+        best_text = text_heavy.knn_query(query, 1)[0][0]
+        assert records[best_text][1] == records[2][1]
+        best_loc = location_only.knn_query(query, 1)[0][0]
+        l2 = EuclideanDistance()
+        dists = [l2.distance(query[0], loc) for loc, _ in records]
+        assert dists[best_loc] == pytest.approx(min(dists), abs=1e-9)
+
+    def test_aggregate_distance_helper(self, index, records):
+        query = (records[4][0], records[4][1])
+        assert index.aggregate_distance(query, 4) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_column_degenerates_to_gts(self, rng):
+        pts = rng.normal(size=(120, 2))
+        index = MultiColumnGTS.build([(p,) for p in pts], metrics=[EuclideanDistance()],
+                                     node_capacity=8)
+        got = index.knn_query((pts[3],), 5)
+        truth = np.sort(np.sqrt(((pts - pts[3]) ** 2).sum(1)))[:5]
+        np.testing.assert_allclose([d for _, d in got], truth, atol=1e-9)

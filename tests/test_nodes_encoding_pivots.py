@@ -1,0 +1,197 @@
+"""Unit and property tests for the tree storage, distance encoding and pivots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.encoding import decode_distances, encode_distances, segment_ids_from_offsets
+from repro.core.nodes import (
+    NO_PIVOT,
+    TreeStructure,
+    level_size,
+    level_start,
+    total_nodes,
+    tree_height,
+)
+from repro.core.pivots import available_pivot_strategies, get_pivot_selector
+from repro.exceptions import ConstructionError, IndexError_
+
+
+class TestTreeHeight:
+    def test_single_object(self):
+        assert tree_height(1, 20) == 0
+
+    def test_fits_in_one_node(self):
+        assert tree_height(10, 20) == 0
+
+    def test_paper_example(self):
+        # Fig. 3: 10 objects, capacity 2 -> max_h = ceil(log2 11) - 1 = 3,
+        # height bound h = max_h - ... the formula gives ceil(log2(11)) - 1 = 3
+        assert tree_height(10, 2) == 3
+
+    def test_powers_of_capacity(self):
+        # Nc^h >= n+1 boundary handling
+        assert tree_height(19, 20) == 0
+        assert tree_height(20, 20) == 1
+        assert tree_height(399, 20) == 1
+        assert tree_height(400, 20) == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(IndexError_):
+            tree_height(10, 1)
+
+    def test_negative_objects(self):
+        with pytest.raises(IndexError_):
+            tree_height(-1, 4)
+
+    @given(n=st.integers(min_value=1, max_value=100_000), nc=st.integers(min_value=2, max_value=64))
+    @settings(max_examples=200, deadline=None)
+    def test_height_bound_property(self, n, nc):
+        h = tree_height(n, nc)
+        # h is the largest integer with nc**h < n + 1 (so the last level may be over-full)
+        assert nc ** h < n + 1 or h == 0
+        assert nc ** (h + 1) >= n + 1
+
+
+class TestNodeArithmetic:
+    def test_total_nodes(self):
+        assert total_nodes(0, 20) == 1
+        assert total_nodes(1, 2) == 3
+        assert total_nodes(3, 2) == 15
+
+    def test_level_start_and_size(self):
+        assert level_start(0, 4) == 0
+        assert level_start(1, 4) == 1
+        assert level_start(2, 4) == 5
+        assert level_size(2, 4) == 16
+
+    def test_children_and_parent_roundtrip(self):
+        tree = TreeStructure.empty(100, 4)
+        for node in range(0, 5):
+            for child in tree.children_of(node):
+                assert tree.parent_of(int(child)) == node
+
+    def test_root_has_no_parent(self):
+        tree = TreeStructure.empty(10, 2)
+        with pytest.raises(IndexError_):
+            tree.parent_of(0)
+
+    def test_level_of(self):
+        tree = TreeStructure.empty(100, 4)
+        assert tree.level_of(0) == 0
+        assert tree.level_of(1) == 1
+        assert tree.level_of(4) == 1
+        assert tree.level_of(5) == 2
+
+    def test_level_slice_covers_all_nodes(self):
+        tree = TreeStructure.empty(500, 5)
+        covered = 0
+        for level in tree.iter_levels():
+            sl = tree.level_slice(level)
+            covered += sl.stop - sl.start
+        assert covered == tree.num_nodes
+
+    def test_empty_structure_shapes(self):
+        tree = TreeStructure.empty(50, 5)
+        assert len(tree.obj_ids) == 50
+        assert tree.pivot[0] == NO_PIVOT
+        assert np.isinf(tree.min_dis[0])
+
+    def test_storage_bytes_positive_and_linear(self):
+        small = TreeStructure.empty(100, 10).storage_bytes()
+        large = TreeStructure.empty(1000, 10).storage_bytes()
+        assert 0 < small < large
+
+
+class TestEncoding:
+    def test_round_trip(self, rng):
+        dists = rng.uniform(0, 7, size=200)
+        segments = np.sort(rng.integers(0, 5, size=200))
+        encoded = encode_distances(dists, segments, max_dis=7.0)
+        decoded = decode_distances(encoded, segments, max_dis=7.0)
+        np.testing.assert_allclose(decoded, dists, atol=1e-9)
+
+    def test_segments_never_interleave_after_sort(self, rng):
+        dists = rng.uniform(0, 10, size=500)
+        segments = np.sort(rng.integers(0, 8, size=500))
+        encoded = encode_distances(dists, segments, max_dis=10.0)
+        order = np.argsort(encoded, kind="stable")
+        sorted_segments = segments[order]
+        assert np.all(np.diff(sorted_segments) >= 0)
+
+    def test_within_segment_order_is_by_distance(self, rng):
+        dists = rng.uniform(0, 3, size=100)
+        segments = np.zeros(100, dtype=np.int64)
+        encoded = encode_distances(dists, segments, max_dis=3.0)
+        order = np.argsort(encoded, kind="stable")
+        assert np.all(np.diff(dists[order]) >= -1e-12)
+
+    def test_rejects_negative_distances(self):
+        with pytest.raises(ConstructionError):
+            encode_distances(np.array([-1.0]), np.array([0]), max_dis=1.0)
+
+    def test_rejects_max_smaller_than_distances(self):
+        with pytest.raises(ConstructionError):
+            encode_distances(np.array([5.0]), np.array([0]), max_dis=1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConstructionError):
+            encode_distances(np.array([1.0, 2.0]), np.array([0]), max_dis=3.0)
+
+    def test_segment_ids_from_offsets(self):
+        ids = segment_ids_from_offsets(np.array([0, 3, 5]), total=8)
+        np.testing.assert_array_equal(ids, [0, 0, 0, 1, 1, 2, 2, 2])
+
+    def test_segment_ids_empty(self):
+        assert len(segment_ids_from_offsets(np.array([]), total=0)) == 0
+
+    @given(
+        dists=st.lists(st.floats(min_value=0, max_value=50, allow_nan=False), min_size=1, max_size=50),
+        num_segments=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_encoding_roundtrip_property(self, dists, num_segments):
+        dists = np.asarray(dists)
+        segments = np.sort(np.arange(len(dists)) % num_segments)
+        max_dis = float(dists.max())
+        encoded = encode_distances(dists, segments, max_dis)
+        decoded = decode_distances(encoded, segments, max_dis)
+        np.testing.assert_allclose(decoded, dists, atol=1e-6)
+        # integer part identifies the segment
+        np.testing.assert_array_equal(np.floor(encoded).astype(int), segments)
+
+
+class TestPivotSelectors:
+    def test_available_strategies(self):
+        assert set(available_pivot_strategies()) >= {"fft", "random", "center"}
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ConstructionError):
+            get_pivot_selector("nope")
+
+    def test_fft_picks_farthest(self, rng):
+        selector = get_pivot_selector("fft")
+        dists = np.array([0.5, 3.0, 1.0, 2.0])
+        assert selector(dists, is_root=False, rng=rng) == 1
+
+    def test_fft_root_is_random_but_valid(self, rng):
+        selector = get_pivot_selector("fft")
+        choice = selector(np.zeros(10), is_root=True, rng=rng)
+        assert 0 <= choice < 10
+
+    def test_center_picks_nearest(self, rng):
+        selector = get_pivot_selector("center")
+        dists = np.array([0.5, 3.0, 0.1, 2.0])
+        assert selector(dists, is_root=False, rng=rng) == 2
+
+    def test_random_in_range(self, rng):
+        selector = get_pivot_selector("random")
+        for _ in range(20):
+            assert 0 <= selector(np.zeros(7), is_root=False, rng=rng) < 7
+
+    def test_empty_node_rejected(self, rng):
+        selector = get_pivot_selector("fft")
+        with pytest.raises(ConstructionError):
+            selector(np.zeros(0), is_root=False, rng=rng)
