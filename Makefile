@@ -1,0 +1,38 @@
+# Convenience targets for the GTS reproduction.
+#
+#   make test         tier-1 test suite (the gate every PR must keep green)
+#   make bench-smoke  fast benchmark smoke run (reduced scale, 2 quick figures)
+#   make bench        full benchmark harness (all paper figures/tables)
+#   make lint         byte-compile every source tree (no linter is vendored)
+#   make example      run the quickstart end to end
+
+PYTHON      ?= python
+PYTHONPATH  := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+.PHONY: test bench-smoke bench lint example
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# The smoke run keeps the default (calibrated) scale and picks the fast
+# files; the benchmark shape assertions are not tuned for very small scales.
+bench-smoke:
+	$(PYTHON) -m pytest -q \
+		benchmarks/bench_ablations.py \
+		benchmarks/bench_approx.py \
+		benchmarks/bench_fig8_gpu_memory.py \
+		benchmarks/bench_fig10_identical.py \
+		benchmarks/bench_service_throughput.py
+
+# bench_*.py does not match pytest's default test-file pattern, so the files
+# must be named explicitly (a bare `pytest benchmarks` collects nothing).
+bench:
+	$(PYTHON) -m pytest -q benchmarks/bench_*.py
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -c "import repro; print('import ok:', repro.__version__)"
+
+example:
+	$(PYTHON) examples/quickstart.py

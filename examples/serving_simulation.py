@@ -1,0 +1,89 @@
+"""Serving simulation: many concurrent clients multiplexed onto one GTS index.
+
+Run with::
+
+    python examples/serving_simulation.py
+
+The script builds a GTS index, generates an open-loop workload — eight
+simulated clients issuing a skewed mix of range/kNN queries and streaming
+updates with Poisson arrivals — and serves it twice: once with per-request
+dispatch (no batching) and once with a greedy micro-batching scheduler.  It
+prints both latency/throughput reports, shows the deadline-aware policy on
+the same stream, and verifies that the batched service returns exactly the
+answers a sequential replay of the stream produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GTS, EuclideanDistance
+from repro.service import (
+    DeadlineAwarePolicy,
+    GreedyBatchPolicy,
+    GTSService,
+    WorkloadSpec,
+    generate_workload,
+    sequential_replay,
+    summarize,
+)
+
+
+def build_index(points: np.ndarray) -> GTS:
+    return GTS.build(points, EuclideanDistance(), node_capacity=20, seed=11)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+
+    # --- a clustered 2-d dataset; the last 10% is held out as the insert pool
+    centers = rng.uniform(-50, 50, size=(6, 2))
+    points = centers[rng.integers(0, 6, size=8_000)] + rng.normal(scale=1.0, size=(8_000, 2))
+    num_indexed = 7_200
+
+    # --- an open-loop workload: 8 clients, Poisson arrivals, hot-key skew
+    spec = WorkloadSpec(
+        num_clients=8,
+        rate_per_client=150_000.0,   # requests per simulated second
+        duration=1e-3,               # 1 ms of simulated arrivals
+        mix={"range": 0.35, "knn": 0.45, "insert": 0.12, "delete": 0.08},
+        radius=1.0,
+        k=10,
+        zipf_theta=1.3,              # a small hot set gets most of the traffic
+        deadline=500e-6,             # every request wants an answer in 500 us
+        seed=11,
+    )
+    workload = generate_workload(points, num_indexed, spec)
+    counts = ", ".join(f"{k}={n}" for k, n in sorted(workload.kind_counts().items()))
+    print(f"workload: {len(workload.requests)} requests over "
+          f"{workload.duration * 1e3:.2f} ms simulated ({counts})\n")
+
+    # --- baseline: per-request dispatch (no micro-batching)
+    service = GTSService(build_index(points[:num_indexed]),
+                         GreedyBatchPolicy(max_batch_size=1, max_wait=0.0))
+    responses = service.serve(workload.requests)
+    print(summarize(responses, service.batches).to_text("per-request dispatch"))
+    print()
+
+    # --- greedy micro-batching: same stream, same index, batched dispatch
+    service = GTSService(build_index(points[:num_indexed]),
+                         GreedyBatchPolicy(max_batch_size=64, max_wait=150e-6))
+    batched_responses = service.serve(workload.requests)
+    print(summarize(batched_responses, service.batches).to_text("greedy micro-batching"))
+    print()
+
+    # --- deadline-aware scheduling: cuts batches early when deadlines loom
+    service = GTSService(build_index(points[:num_indexed]),
+                         DeadlineAwarePolicy(max_batch_size=64, max_wait=150e-6))
+    deadline_responses = service.serve(workload.requests)
+    print(summarize(deadline_responses, service.batches).to_text("deadline-aware policy"))
+    print()
+
+    # --- the serving contract: batched answers == sequential replay
+    expected = sequential_replay(build_index(points[:num_indexed]), workload.requests)
+    assert [r.result for r in batched_responses] == expected, "batched answers differ!"
+    print("verification: micro-batched answers identical to sequential replay")
+
+
+if __name__ == "__main__":
+    main()

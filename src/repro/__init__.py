@@ -12,7 +12,9 @@ in the SIGMOD 2024 paper, on top of a simulated GPU substrate:
   a learned leaf router), the paper's stated follow-up direction;
 * :mod:`repro.datasets` — synthetic stand-ins for the paper's five datasets;
 * :mod:`repro.evalsuite` — workloads, runners and reporting for every table
-  and figure of the paper's evaluation.
+  and figure of the paper's evaluation;
+* :mod:`repro.service` — the concurrent query-serving layer (micro-batching
+  scheduler, open-loop client workloads, latency reports).
 
 Quickstart::
 
@@ -33,6 +35,7 @@ from .exceptions import (
     DatasetError,
     DeviceError,
     DeviceMemoryError,
+    HostMemoryError,
     IndexError_,
     KernelError,
     MemoryDeadlockError,
@@ -43,6 +46,13 @@ from .exceptions import (
     UpdateError,
 )
 from .gpusim import CPUExecutor, CPUSpec, Device, DeviceSpec
+from .service import (
+    DeadlineAwarePolicy,
+    GreedyBatchPolicy,
+    GTSService,
+    WorkloadSpec,
+    generate_workload,
+)
 from .metrics import (
     AngularDistance,
     ChebyshevDistance,
@@ -63,6 +73,11 @@ __all__ = [
     "ApproximateGTS",
     "LearnedLeafRouter",
     "PruneMode",
+    "GTSService",
+    "GreedyBatchPolicy",
+    "DeadlineAwarePolicy",
+    "WorkloadSpec",
+    "generate_workload",
     "Device",
     "DeviceSpec",
     "CPUExecutor",
@@ -80,6 +95,7 @@ __all__ = [
     "MetricError",
     "DeviceError",
     "DeviceMemoryError",
+    "HostMemoryError",
     "MemoryDeadlockError",
     "KernelError",
     "IndexError_",

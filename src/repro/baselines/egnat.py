@@ -25,7 +25,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..exceptions import BaselineError
+from ..exceptions import BaselineError, HostMemoryError
 from .base import CPUSimilarityIndex
 
 __all__ = ["EGNAT"]
@@ -80,7 +80,7 @@ class EGNAT(CPUSimilarityIndex):
 
     def _check_budget(self) -> None:
         if self.memory_budget_bytes is not None and self.storage_bytes > self.memory_budget_bytes:
-            raise BaselineError(
+            raise HostMemoryError(
                 f"EGNAT ran out of memory: index needs more than "
                 f"{self.memory_budget_bytes} bytes (pre-computed range tables)"
             )

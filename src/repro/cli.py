@@ -17,6 +17,11 @@ writing Python:
 ``repro experiment``
     Re-run one of the paper's tables/figures (the same functions the
     benchmark harness uses) and print its rows, optionally writing CSV.
+``repro serve-sim``
+    Simulate the concurrent query-serving layer: N open-loop clients issue
+    mixed range/kNN/insert/delete requests, a micro-batching scheduler
+    coalesces them, and the throughput/latency-percentile report is printed
+    (see DESIGN.md §4).
 
 Every command prints plain text to stdout; exit status is 0 on success and
 2 on argument errors (argparse's convention).
@@ -39,9 +44,11 @@ from .evalsuite import experiments as _experiments
 from .evalsuite import extensions as _extensions
 from .evalsuite.reporting import format_bytes, format_seconds, format_throughput, rows_to_csv
 from .evalsuite.runner import MethodRunner
-from .evalsuite.workloads import make_workload
+from .evalsuite.workloads import make_workload, radius_for_selectivity
 from .gpusim.specs import DeviceSpec, MiB
 from .metrics import available_metrics
+from .service import experiment as _service_experiment
+from .service.scheduler import POLICY_REGISTRY, make_policy
 
 __all__ = ["main", "build_parser", "EXPERIMENT_REGISTRY"]
 
@@ -61,6 +68,7 @@ EXPERIMENT_REGISTRY = {
     "ablation-prune-pivot": _experiments.ablation_prune_and_pivot,
     "extended-baselines": _extensions.experiment_extended_baselines,
     "approx-tradeoff": _extensions.experiment_approximate_tradeoff,
+    "service-batching": _service_experiment.experiment_service_batching,
 }
 
 
@@ -107,6 +115,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--num-queries", type=int, default=16, help="queries per batch (default 16)")
     p_compare.add_argument("--k", type=int, default=8, help="k for kNN queries (default 8)")
     p_compare.add_argument("--device-memory-mb", type=float, default=None, help="simulated GPU memory in MB")
+
+    p_serve = sub.add_parser(
+        "serve-sim",
+        help="simulate the concurrent query-serving layer over a GTS index",
+    )
+    _add_dataset_arguments(p_serve)
+    p_serve.add_argument("--node-capacity", type=int, default=20, help="tree fan-out Nc (default 20)")
+    p_serve.add_argument("--clients", type=int, default=6, help="number of simulated clients (default 6)")
+    p_serve.add_argument(
+        "--rate", type=float, default=100_000.0,
+        help="per-client request rate in requests per simulated second (default 1e5)",
+    )
+    p_serve.add_argument(
+        "--duration", type=float, default=2e-3,
+        help="simulated seconds of arrivals to generate (default 2e-3)",
+    )
+    p_serve.add_argument(
+        "--policy", choices=sorted(POLICY_REGISTRY),
+        default="greedy", help="micro-batching policy (default greedy)",
+    )
+    p_serve.add_argument("--max-batch", type=int, default=64, help="micro-batch size budget (default 64)")
+    p_serve.add_argument(
+        "--max-wait", type=float, default=200e-6,
+        help="max simulated seconds the oldest request may wait (default 200e-6)",
+    )
+    p_serve.add_argument(
+        "--deadline", type=float, default=None,
+        help="relative completion deadline per request in simulated seconds",
+    )
+    p_serve.add_argument("--k", type=int, default=8, help="k for kNN requests (default 8)")
+    p_serve.add_argument(
+        "--selectivity", type=float, default=0.01,
+        help="range-query selectivity used to derive the radius (default 0.01)",
+    )
+    p_serve.add_argument(
+        "--verify", action="store_true",
+        help="also replay the stream sequentially and check the answers match",
+    )
 
     p_exp = sub.add_parser("experiment", help="re-run one of the paper's tables or figures")
     p_exp.add_argument("name", choices=sorted(EXPERIMENT_REGISTRY), help="experiment id")
@@ -224,6 +270,62 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    from .service import GTSService, WorkloadSpec, generate_workload, summarize
+    from .service.experiment import HOLDOUT_FRACTION, sequential_replay
+
+    dataset = get_dataset(args.dataset, cardinality=args.cardinality, seed=args.seed)
+    num_indexed = max(2, int(dataset.cardinality * (1.0 - HOLDOUT_FRACTION)))
+    radius = radius_for_selectivity(
+        dataset.objects[:num_indexed], dataset.metric, args.selectivity
+    )
+    print(f"dataset    : {dataset.name} ({num_indexed} indexed, "
+          f"{dataset.cardinality - num_indexed} held out for inserts)")
+
+    index = GTS.build(
+        dataset.objects[:num_indexed],
+        dataset.metric,
+        node_capacity=args.node_capacity,
+        seed=args.seed,
+    )
+    spec = WorkloadSpec(
+        num_clients=args.clients,
+        rate_per_client=args.rate,
+        duration=args.duration,
+        radius=radius,
+        k=args.k,
+        deadline=args.deadline,
+        seed=args.seed,
+    )
+    workload = generate_workload(dataset.objects, num_indexed, spec)
+    counts = ", ".join(f"{kind}={n}" for kind, n in sorted(workload.kind_counts().items()))
+    print(f"workload   : {len(workload.requests)} requests from {args.clients} clients "
+          f"({counts})")
+
+    policy_kwargs = {"max_batch_size": args.max_batch, "max_wait": args.max_wait}
+    service = GTSService(index, policy=make_policy(args.policy, **policy_kwargs))
+    responses = service.serve(workload.requests)
+    report = summarize(responses, service.batches)
+    print(f"policy     : {args.policy} (max batch {args.max_batch}, "
+          f"max wait {args.max_wait * 1e6:.0f} us)")
+    print(report.to_text(title=f"{args.policy} policy on {dataset.name}"))
+
+    if args.verify:
+        oracle = GTS.build(
+            dataset.objects[:num_indexed],
+            dataset.metric,
+            node_capacity=args.node_capacity,
+            seed=args.seed,
+        )
+        expected = sequential_replay(oracle, workload.requests)
+        got = [r.result for r in responses]
+        if got != expected:
+            print("verify     : MISMATCH against sequential replay", file=sys.stderr)
+            return 1
+        print("verify     : identical to sequential replay")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     fn = EXPERIMENT_REGISTRY[args.name]
     kwargs = {"scale": args.scale}
@@ -250,6 +352,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "build": _cmd_build,
         "query": _cmd_query,
         "compare": _cmd_compare,
+        "serve-sim": _cmd_serve_sim,
         "experiment": _cmd_experiment,
     }
     return handlers[args.command](args)

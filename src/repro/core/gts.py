@@ -19,8 +19,13 @@ A minimal end-to-end use looks like::
 
 Object identity: every object handed to the index receives a persistent
 integer id (its position in the insertion order).  Query answers are
-``(object_id, distance)`` pairs; :meth:`GTS.get_object` maps ids back to
-objects.
+``(object_id, distance)`` pairs sorted by ``(distance, object_id)``;
+:meth:`GTS.get_object` maps ids back to objects.  Ids survive rebuilds and
+are never reused after deletion.
+
+Concurrent callers: :meth:`GTS.execute_batch` is the mixed-batch entry point
+the serving layer (:mod:`repro.service`) coalesces interleaved client
+requests through; see DESIGN.md §4.
 """
 
 from __future__ import annotations
@@ -93,7 +98,7 @@ class GTS:
         self._rng = np.random.default_rng(seed)
 
         self._objects: list = []
-        self._indexed_ids: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._indexed_ids = np.zeros(0, dtype=np.int64)
         self._tombstones: set[int] = set()
         self._tree: Optional[TreeStructure] = None
         self._build_result: Optional[BuildResult] = None
@@ -128,7 +133,15 @@ class GTS:
         return index
 
     def bulk_load(self, objects: Sequence) -> BuildResult:
-        """(Re)initialise the index with ``objects`` as its full content."""
+        """(Re)initialise the index with ``objects`` as its full content.
+
+        Runs the level-synchronous parallel construction (Algorithms 1-3,
+        Section 4.1-4.3).  Object ``i`` of ``objects`` receives object id
+        ``i``; any previous content, cache entries and tombstones are
+        dropped first.  Returns the construction's
+        :class:`~repro.core.construction.BuildResult` (simulated time,
+        distance computations, allocations).
+        """
         if len(objects) == 0:
             raise IndexError_("cannot bulk load an empty object collection")
         self._release_index()
@@ -167,6 +180,17 @@ class GTS:
         self._cache.release()
 
     # ------------------------------------------------------------ properties
+    @property
+    def _indexed_ids(self) -> np.ndarray:
+        return self.__indexed_ids
+
+    @_indexed_ids.setter
+    def _indexed_ids(self, value: np.ndarray) -> None:
+        # Keep a set view in sync so per-id membership checks (delete,
+        # is_live) stay O(1) instead of rescanning the array every call.
+        self.__indexed_ids = value
+        self._indexed_id_set = {int(i) for i in value.tolist()}
+
     @property
     def tree(self) -> TreeStructure:
         """The underlying flat tree structure (read-only use only)."""
@@ -227,7 +251,7 @@ class GTS:
             return True
         return (
             0 <= obj_id < len(self._objects)
-            and obj_id in set(self._indexed_ids.tolist())
+            and obj_id in self._indexed_id_set
             and obj_id not in self._tombstones
         )
 
@@ -240,15 +264,39 @@ class GTS:
 
     # -------------------------------------------------------------- queries
     def range_query(self, query, radius: float) -> list[tuple[int, float]]:
-        """Answer a single metric range query ``MRQ(query, radius)``."""
+        """Answer a single metric range query ``MRQ(query, radius)``.
+
+        Convenience wrapper over :meth:`range_query_batch` with a batch of
+        one — the underlying algorithm (Algorithm 4, Section 5.1) is always
+        the batch algorithm.  Returns ``(object_id, distance)`` pairs sorted
+        by ``(distance, object_id)``; ids map back to objects via
+        :meth:`get_object`.
+        """
         return self.range_query_batch([query], radius)[0]
 
     def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
-        """Answer a batch of metric range queries concurrently.
+        """Answer a batch of metric range queries concurrently (Algorithm 4).
 
-        ``radii`` is a scalar shared by all queries or one value per query.
-        Results merge the tree's answers with the cache table's answers and
-        never contain deleted objects.
+        The batch descends the tree level-synchronously with Lemma 5.1
+        pruning; when a level's projected intermediate table would overflow
+        device memory the batch is split into sequentially processed groups
+        (the two-stage strategy of Section 5.2).
+
+        Parameters
+        ----------
+        queries:
+            Query objects from the same metric space as the indexed objects.
+        radii:
+            A scalar radius shared by all queries or one value per query.
+
+        Returns
+        -------
+        One list per query, in query order.  Each list holds
+        ``(object_id, distance)`` pairs — ``object_id`` the persistent
+        integer id assigned at insertion, ``distance`` a float with
+        ``distance <= radius`` — sorted by ``(distance, object_id)``.
+        Answers are exact: they merge the tree's results with the
+        cache-table's (Section 4.4) and never contain deleted objects.
         """
         self._require_built()
         tree_results = batch_range_query(
@@ -273,11 +321,37 @@ class GTS:
         return merged
 
     def knn_query(self, query, k: int) -> list[tuple[int, float]]:
-        """Answer a single metric k-nearest-neighbour query ``MkNNQ(query, k)``."""
+        """Answer a single metric k-nearest-neighbour query ``MkNNQ(query, k)``.
+
+        Convenience wrapper over :meth:`knn_query_batch` with a batch of one
+        (Algorithm 5, Section 5.2).  Returns at most ``k``
+        ``(object_id, distance)`` pairs sorted by ``(distance, object_id)``.
+        """
         return self.knn_query_batch([query], k)[0]
 
     def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
-        """Answer a batch of metric kNN queries concurrently."""
+        """Answer a batch of metric kNN queries concurrently (Algorithm 5).
+
+        Same level-synchronous, memory-aware descent as
+        :meth:`range_query_batch`, with the fixed radius replaced by each
+        query's running k-th-candidate bound and Lemma 5.2 pruning.
+
+        Parameters
+        ----------
+        queries:
+            Query objects from the same metric space as the indexed objects.
+        k:
+            A scalar shared by all queries or one positive value per query.
+
+        Returns
+        -------
+        One list per query, in query order: up to ``k``
+        ``(object_id, distance)`` pairs sorted by ``(distance, object_id)``.
+        The returned distances are the true k smallest among live objects
+        (cache-table entries included, deleted objects excluded); when
+        several objects tie at the k-th distance an arbitrary subset of the
+        tied objects completes the answer.
+        """
         self._require_built()
         k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
         if np.any(k_arr <= 0):
@@ -305,13 +379,78 @@ class GTS:
             merged.append([(int(o), float(d)) for o, d in ranked[: int(k_arr[qi])]])
         return merged
 
+    def execute_batch(self, ops: Sequence[tuple]) -> list:
+        """Execute a heterogeneous batch of operations in submission order.
+
+        This is the mixed-batch entry point the serving layer
+        (:class:`repro.service.GTSService`) dispatches micro-batches through.
+        Each operation is a tuple whose first element names its kind:
+
+        ``("range", query, radius)``
+            A metric range query; its result is a ``(object_id, distance)``
+            list as returned by :meth:`range_query`.
+        ``("knn", query, k)``
+            A metric kNN query; result as returned by :meth:`knn_query`.
+        ``("insert", obj)``
+            A streaming insert; the result is the new object id.
+        ``("delete", obj_id)``
+            A streaming delete; the result is ``None``.
+
+        Maximal runs of consecutive query operations of the same kind are
+        coalesced into one call of the paper's batch algorithms
+        (Algorithms 4-5) — with per-query radii/``k`` — so a homogeneous batch
+        of ``n`` queries costs exactly one ``range_query_batch`` /
+        ``knn_query_batch`` invocation.  Updates act as barriers: a query
+        submitted after an insert/delete observes it, one submitted before
+        does not, exactly as if every operation had been issued sequentially.
+        Results come back in submission order, one entry per operation.
+        """
+        self._require_built()
+        results: list = [None] * len(ops)
+        start = 0
+        while start < len(ops):
+            kind = ops[start][0]
+            end = start
+            while end < len(ops) and ops[end][0] == kind and kind in ("range", "knn"):
+                end += 1
+            if kind == "range":
+                queries = [op[1] for op in ops[start:end]]
+                radii = np.asarray([float(op[2]) for op in ops[start:end]], dtype=np.float64)
+                for offset, answer in enumerate(self.range_query_batch(queries, radii)):
+                    results[start + offset] = answer
+                start = end
+            elif kind == "knn":
+                queries = [op[1] for op in ops[start:end]]
+                ks = np.asarray([int(op[2]) for op in ops[start:end]], dtype=np.int64)
+                for offset, answer in enumerate(self.knn_query_batch(queries, ks)):
+                    results[start + offset] = answer
+                start = end
+            elif kind == "insert":
+                results[start] = self.insert(ops[start][1])
+                start += 1
+            elif kind == "delete":
+                results[start] = self.delete(int(ops[start][1]))
+                start += 1
+            else:
+                raise QueryError(f"unknown batch operation kind {kind!r}")
+        return results
+
     # -------------------------------------------------------------- updates
     def insert(self, obj) -> int:
-        """Insert one object (streaming update); returns its new object id.
+        """Insert one object (streaming update, Section 4.4); returns its id.
 
-        The object lands in the cache table in ``O(1)``; when the cache
-        exceeds its byte budget the index is rebuilt from scratch using the
-        parallel construction algorithm and the cache is cleared.
+        Object ids are assigned in insertion order (the new id is always
+        ``num_indexed + cached`` inserts so far), are stable for the life of
+        the index, and are what every query reports in its
+        ``(object_id, distance)`` pairs.
+
+        The object lands in the device-resident cache table in ``O(1)`` and
+        is immediately visible to queries (their answers merge the tree's
+        results with a cache scan).  When the cache exceeds its byte budget
+        (``cache_capacity_bytes``, default ~5 KB per Section 6.2) the whole
+        index is automatically rebuilt with the parallel construction
+        algorithm (Algorithms 1-3), folding cached objects into the tree and
+        clearing the cache — observable via :attr:`rebuild_count`.
         """
         self._require_built()
         obj_id = len(self._objects)
@@ -327,11 +466,14 @@ class GTS:
         return obj_id
 
     def delete(self, obj_id: int) -> None:
-        """Delete one object by id (streaming update).
+        """Delete one object by id (streaming update, Section 4.4).
 
         Cached objects are removed immediately; indexed objects are
-        tombstoned in the table list and filtered from every query until the
-        next rebuild.
+        tombstoned in the table list in ``O(1)`` and filtered from every
+        query answer until the next rebuild physically drops them.  Deleting
+        an unknown or already-deleted id raises
+        :class:`~repro.exceptions.UpdateError`; the id itself is never
+        reused.
         """
         self._require_built()
         obj_id = int(obj_id)
@@ -341,17 +483,28 @@ class GTS:
             return
         if obj_id in self._tombstones:
             raise UpdateError(f"object {obj_id} has already been deleted")
-        if obj_id < 0 or obj_id >= len(self._objects) or obj_id not in set(self._indexed_ids.tolist()):
+        if obj_id < 0 or obj_id >= len(self._objects) or obj_id not in self._indexed_id_set:
             raise UpdateError(f"unknown object id {obj_id}")
         self._tombstones.add(obj_id)
 
     def update(self, obj_id: int, new_obj) -> int:
-        """Modify an object: delete the old version, insert the new one."""
+        """Modify an object: delete the old version, insert the new one.
+
+        Following the paper's modification semantics (Section 4.4), the new
+        version gets a *fresh* object id (returned); ``obj_id`` becomes a
+        tombstone.
+        """
         self.delete(obj_id)
         return self.insert(new_obj)
 
     def rebuild(self) -> BuildResult:
-        """Rebuild the tree from all live objects and clear the cache/tombstones."""
+        """Rebuild the tree from all live objects (Algorithms 1-3).
+
+        Folds the cache table's objects into the tree, physically drops
+        tombstoned objects, and clears both — the operation
+        :meth:`insert` triggers automatically on cache overflow
+        (Section 4.4).  Object ids survive rebuilds unchanged.
+        """
         self._require_built()
         live_indexed = [int(i) for i in self._indexed_ids if int(i) not in self._tombstones]
         cached = [oid for oid, _ in self._cache.items()]
@@ -371,7 +524,7 @@ class GTS:
         """
         self._require_built()
         delete_set = {int(d) for d in deletes}
-        unknown = delete_set - set(self._indexed_ids.tolist()) - {oid for oid, _ in self._cache.items()}
+        unknown = delete_set - self._indexed_id_set - {oid for oid, _ in self._cache.items()}
         if unknown:
             raise UpdateError(f"cannot delete unknown object ids: {sorted(unknown)}")
         for obj_id in delete_set:

@@ -5,8 +5,8 @@ Each ``experiment_*`` function regenerates one artifact and returns an
 quantities the paper reports (construction seconds and MB for Table 4,
 queries/minute for the figures, seconds per update for Table 5 / Fig. 5, and
 so on).  The benchmark files under ``benchmarks/`` are thin wrappers that call
-these functions and print/assert on their output; ``EXPERIMENTS.md`` records
-the measured shapes next to the paper's.
+these functions and print/assert on their output; ``benchmarks/README.md``
+maps each benchmark to its paper figure/table and the shape it locks in.
 
 Scaling.  The stand-in datasets are orders of magnitude smaller than the
 paper's (DESIGN.md §2), so two knobs keep the phenomena visible at the reduced

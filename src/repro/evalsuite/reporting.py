@@ -1,8 +1,8 @@
 """Plain-text and CSV reporting of experiment results.
 
 The benchmark harness prints the same rows/series the paper's tables and
-figures report; these helpers keep that formatting in one place so
-``EXPERIMENTS.md`` and the pytest-benchmark output stay consistent.
+figures report; these helpers keep that formatting in one place so the CLI
+output and the pytest-benchmark output stay consistent.
 """
 
 from __future__ import annotations

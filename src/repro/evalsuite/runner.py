@@ -25,7 +25,13 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..baselines import METHOD_REGISTRY, SimilarityIndex, get_method
-from ..exceptions import BaselineError, DeviceMemoryError, MemoryDeadlockError, UnsupportedMetricError
+from ..exceptions import (
+    BaselineError,
+    DeviceMemoryError,
+    HostMemoryError,
+    MemoryDeadlockError,
+    UnsupportedMetricError,
+)
 from ..gpusim.device import Device
 from ..gpusim.specs import CPUSpec, DeviceSpec
 from ..gpusim.timing import throughput_per_minute
@@ -129,7 +135,7 @@ class MethodRunner:
         try:
             payload = fn()
             status = STATUS_OK
-        except (MemoryDeadlockError, DeviceMemoryError):
+        except (MemoryDeadlockError, DeviceMemoryError, HostMemoryError):
             payload = None
             status = STATUS_OOM
         except (UnsupportedMetricError, BaselineError):
@@ -168,7 +174,7 @@ class MethodRunner:
                 )
             self.index.build(self.dataset.objects)
             status = STATUS_OK
-        except (MemoryDeadlockError, DeviceMemoryError):
+        except (MemoryDeadlockError, DeviceMemoryError, HostMemoryError):
             status = STATUS_OOM
         except UnsupportedMetricError:
             status = STATUS_UNSUPPORTED

@@ -71,6 +71,15 @@ class BaselineError(ReproError):
     """A baseline index failed (unsupported metric, memory exhaustion, ...)."""
 
 
+class HostMemoryError(BaselineError):
+    """A CPU baseline exhausted its simulated host-memory budget.
+
+    EGNAT's pre-computed range tables are the paper's example (Table 4 lists
+    EGNAT as "oom" on T-Loc); the evaluation runner reports this status
+    instead of letting the error escape, exactly like device OOM.
+    """
+
+
 class UnsupportedMetricError(BaselineError):
     """A special-purpose baseline was asked to index a metric it cannot handle.
 

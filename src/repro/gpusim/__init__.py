@@ -19,7 +19,7 @@ from .kernels import (
 )
 from .specs import DESKTOP_CPU_LIKE, RTX_2080TI_LIKE, CPUSpec, DeviceSpec, GiB, KiB, MiB
 from .stats import ExecutionStats
-from .timing import MeasuredRun, measure, throughput_per_minute
+from .timing import MeasuredRun, PhaseTimer, measure, throughput_per_minute
 
 __all__ = [
     "Device",
@@ -42,5 +42,6 @@ __all__ = [
     "topk_kernel",
     "measure",
     "MeasuredRun",
+    "PhaseTimer",
     "throughput_per_minute",
 ]

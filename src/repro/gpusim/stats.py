@@ -68,6 +68,33 @@ class ExecutionStats:
         """Return an independent snapshot of the current counters."""
         return ExecutionStats(**self.as_dict())
 
+    def scale(self, factor: float) -> "ExecutionStats":
+        """Return a copy with every additive counter multiplied by ``factor``.
+
+        Used to attribute the cost of a shared micro-batch to its individual
+        requests: a batch of ``n`` requests whose dispatch cost ``stats``
+        charges each request ``stats.scale(1 / n)``.  Scaled counters are
+        left as floats (fractional kernel launches, bytes, ...) so that
+        summing the per-request shares reproduces the batch totals exactly;
+        ``peak_memory_bytes`` is a high-water mark, not an additive quantity,
+        so it is carried over unscaled.
+        """
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        return ExecutionStats(
+            kernel_launches=self.kernel_launches * factor,
+            parallel_steps=self.parallel_steps * factor,
+            total_ops=self.total_ops * factor,
+            sorted_elements=self.sorted_elements * factor,
+            bytes_to_device=self.bytes_to_device * factor,
+            bytes_to_host=self.bytes_to_host * factor,
+            allocations=self.allocations * factor,
+            frees=self.frees * factor,
+            peak_memory_bytes=self.peak_memory_bytes,
+            sim_time=self.sim_time * factor,
+            host_time=self.host_time * factor,
+        )
+
     def as_dict(self) -> dict:
         """Return the counters as a plain dictionary (for reports/JSON)."""
         return {

@@ -1,0 +1,83 @@
+"""Concurrent query-serving layer over the GTS index.
+
+The library's :class:`~repro.core.GTS` answers one caller's batch at a time;
+this package turns it into something shaped like a serving system (DESIGN.md
+§4): many simulated clients submit interleaved range/kNN/insert/delete
+requests with open-loop arrival times, a scheduling policy coalesces them
+into micro-batches, and each micro-batch rides the paper's batch search
+algorithms on the shared simulated device — the multiplexing-for-throughput
+pattern of GPU serving stacks (cf. Faiss' batched GPU search and GENIE's
+multi-query front-end).
+
+* :mod:`repro.service.requests` — request/response model with the
+  queue/dispatch/kernel latency decomposition;
+* :mod:`repro.service.scheduler` — greedy and deadline-aware micro-batch
+  policies;
+* :mod:`repro.service.service` — :class:`GTSService`, the event loop;
+* :mod:`repro.service.workload` — open-loop Poisson workload generator with
+  hot-key skew;
+* :mod:`repro.service.report` — throughput / latency-percentile reports;
+* :mod:`repro.service.experiment` — the batching-vs-latency sweep used by
+  ``benchmarks/bench_service_throughput.py`` and ``repro serve-sim``.
+"""
+
+from .requests import DELETE, INSERT, KNN, RANGE, Request, Response
+from .scheduler import (
+    DeadlineAwarePolicy,
+    Decision,
+    GreedyBatchPolicy,
+    POLICY_REGISTRY,
+    SchedulingPolicy,
+    make_policy,
+)
+from .service import GTSService, MicroBatchRecord
+from .workload import Workload, WorkloadSpec, generate_workload
+
+#: Symbols that live in modules depending on :mod:`repro.evalsuite` (the
+#: reporting/dataset stack).  They are loaded lazily via module
+#: ``__getattr__`` so that ``import repro`` (which re-exports the core
+#: serving API) does not drag the whole evaluation harness in.
+_LAZY = {
+    "LatencySummary": "report",
+    "ServiceReport": "report",
+    "summarize": "report",
+    "experiment_service_batching": "experiment",
+    "sequential_replay": "experiment",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+__all__ = [
+    "GTSService",
+    "MicroBatchRecord",
+    "Request",
+    "Response",
+    "RANGE",
+    "KNN",
+    "INSERT",
+    "DELETE",
+    "SchedulingPolicy",
+    "GreedyBatchPolicy",
+    "DeadlineAwarePolicy",
+    "Decision",
+    "POLICY_REGISTRY",
+    "make_policy",
+    "WorkloadSpec",
+    "Workload",
+    "generate_workload",
+    "LatencySummary",
+    "ServiceReport",
+    "summarize",
+    "experiment_service_batching",
+    "sequential_replay",
+]

@@ -1,0 +1,157 @@
+"""The serving-layer batching experiment (micro-batch size vs latency).
+
+:func:`experiment_service_batching` is the client-side companion of the
+paper's Fig. 9: where Fig. 9 hands the index ever-larger *pre-formed*
+batches, this experiment keeps the offered load fixed (an open-loop Poisson
+stream from several simulated clients) and sweeps the *scheduler's* knobs —
+``max_batch_size`` and ``max_wait`` — to expose the throughput-vs-latency
+trade-off of micro-batching.  ``max_batch_size=1`` is the no-batching
+baseline (per-request dispatch); larger budgets amortise kernel launches and
+tree descents across requests, raising throughput at the cost of queueing
+latency for the earliest request in each batch.
+
+Every configuration serves the *same* generated stream over a freshly built
+index and device, and every configuration's answers are checked against a
+sequential replay of the stream on the bare index — so the rows compare
+equal-correctness runs, per the serving layer's contract (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..datasets import DEFAULT_CARDINALITIES, get_dataset
+from ..evalsuite.reporting import ExperimentResult
+from ..evalsuite.workloads import radius_for_selectivity
+from ..gpusim.device import Device
+from ..gpusim.specs import DeviceSpec
+from .requests import Request
+from .scheduler import DeadlineAwarePolicy, GreedyBatchPolicy
+from .service import GTSService
+from .workload import WorkloadSpec, generate_workload
+
+__all__ = ["experiment_service_batching", "sequential_replay"]
+
+#: Fraction of the generated dataset held out as the insert pool.
+HOLDOUT_FRACTION = 0.1
+
+
+def sequential_replay(index, requests: Sequence[Request]) -> list:
+    """Replay a request stream one-by-one against a bare index.
+
+    This is the serving layer's correctness oracle: no batching, no
+    scheduling — each request becomes one direct :meth:`GTS.execute_batch`
+    call in arrival order.  Returns the per-request results in stream order.
+    """
+    ordered = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+    results = []
+    for request in ordered:
+        results.extend(index.execute_batch([request.as_op()]))
+    return results
+
+
+def _build_index(dataset, num_indexed: int, node_capacity: int, seed: int):
+    from ..core.gts import GTS
+
+    device = Device(DeviceSpec())
+    index = GTS.build(
+        dataset.objects[:num_indexed],
+        dataset.metric,
+        node_capacity=node_capacity,
+        device=device,
+        seed=seed,
+    )
+    return index
+
+
+def experiment_service_batching(
+    dataset_name: str = "tloc",
+    batch_sizes: Sequence[int] = (1, 4, 16, 64),
+    max_waits: Sequence[float] = (200e-6,),
+    include_deadline_policy: bool = True,
+    deadline: float = 2e-3,
+    num_clients: int = 6,
+    rate_per_client: float = 250_000.0,
+    duration: float = 2e-3,
+    node_capacity: int = 20,
+    scale: float = 1.0,
+    cardinality: Optional[int] = None,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Sweep the scheduler's batching knobs at a fixed offered load.
+
+    Returns one row per ``(policy, max_batch, max_wait)`` configuration with
+    achieved throughput (requests per simulated minute), latency percentiles,
+    mean micro-batch size and a ``correct`` flag (answers identical to the
+    sequential replay).
+    """
+    from .report import summarize
+
+    if cardinality is None:
+        cardinality = max(200, int(DEFAULT_CARDINALITIES[dataset_name] * scale))
+    dataset = get_dataset(dataset_name, cardinality=cardinality, seed=seed)
+    num_indexed = max(2, int(len(dataset.objects) * (1.0 - HOLDOUT_FRACTION)))
+    radius = radius_for_selectivity(dataset.objects[:num_indexed], dataset.metric, 0.01)
+
+    spec = WorkloadSpec(
+        num_clients=num_clients,
+        rate_per_client=rate_per_client,
+        duration=duration,
+        radius=radius,
+        deadline=deadline,
+        seed=seed,
+    )
+    workload = generate_workload(dataset.objects, num_indexed, spec)
+
+    oracle_index = _build_index(dataset, num_indexed, node_capacity, seed)
+    expected = sequential_replay(oracle_index, workload.requests)
+    oracle_index.close()
+
+    configs = [
+        ("greedy", batch, wait)
+        for batch in batch_sizes
+        for wait in max_waits
+    ]
+    if include_deadline_policy:
+        configs.append(("deadline", max(batch_sizes), max(max_waits)))
+
+    result = ExperimentResult(
+        experiment="service-batching",
+        title=f"micro-batching sweep on {dataset.name} "
+        f"({len(workload.requests)} requests, {num_clients} clients)",
+    )
+    for policy_name, max_batch, max_wait in configs:
+        if policy_name == "deadline":
+            policy = DeadlineAwarePolicy(max_batch_size=max_batch, max_wait=max_wait)
+        else:
+            policy = GreedyBatchPolicy(max_batch_size=max_batch, max_wait=max_wait)
+        index = _build_index(dataset, num_indexed, node_capacity, seed)
+        service = GTSService(index, policy=policy)
+        responses = service.serve(workload.requests)
+        report = summarize(responses, service.batches)
+        correct = [r.result for r in responses] == expected
+        row = dict(
+            policy=policy_name,
+            max_batch=max_batch,
+            max_wait_us=max_wait * 1e6,
+            requests=report.num_requests,
+            throughput=report.throughput,
+            capacity=report.capacity,
+            p50_latency=report.latency.p50,
+            p99_latency=report.latency.p99,
+            mean_batch=report.mean_batch_size,
+            batches=report.num_batches,
+            correct=correct,
+            status="ok" if correct else "mismatch",
+        )
+        if report.deadline_miss_rate is not None:
+            row["miss_rate"] = report.deadline_miss_rate
+        result.add_row(**row)
+        index.close()
+
+    result.notes = (
+        f"offered load {num_clients} clients x {rate_per_client:.0f} req/s for "
+        f"{duration * 1e3:.2f} ms simulated; radius at 1% selectivity; "
+        "max_batch=1 is the per-request-dispatch baseline"
+    )
+    return result

@@ -1,0 +1,168 @@
+"""Throughput / latency-percentile reporting for the serving layer.
+
+A :class:`ServiceReport` condenses one :meth:`GTSService.serve` run into the
+numbers a serving system is judged by: offered load vs achieved throughput,
+latency percentiles (p50/p90/p99) with the queue/dispatch/kernel
+decomposition, mean micro-batch size, and the deadline-miss rate.  The
+``to_result()`` view returns the same rows as an
+:class:`~repro.evalsuite.reporting.ExperimentResult` so the CLI and the
+benchmark harness print it with the house table formatting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..evalsuite.reporting import ExperimentResult, format_seconds, format_throughput
+from ..gpusim.timing import throughput_per_minute
+from .requests import Response
+
+__all__ = ["LatencySummary", "ServiceReport", "summarize"]
+
+#: Percentiles every latency summary reports.
+PERCENTILES = (50.0, 90.0, 99.0)
+
+
+@dataclass
+class LatencySummary:
+    """Latency distribution of one request population (seconds, simulated)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "LatencySummary":
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            return cls(count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, max=0.0)
+        p50, p90, p99 = np.percentile(arr, PERCENTILES)
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p50=float(p50),
+            p90=float(p90),
+            p99=float(p99),
+            max=float(arr.max()),
+        )
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate view of one served workload."""
+
+    num_requests: int
+    #: simulated seconds from the first arrival to the last completion
+    makespan: float
+    #: achieved throughput in requests per simulated minute
+    throughput: float
+    #: simulated seconds the device spent serving batches (dispatch + kernel)
+    device_busy_time: float = 0.0
+    #: serving capacity: requests per minute of device-busy time — the
+    #: load-independent measure of what micro-batching buys (a lightly loaded
+    #: service achieves the offered throughput regardless of batching, but
+    #: its capacity ceiling is set by the per-request device cost)
+    capacity: float = 0.0
+    latency: LatencySummary = None
+    #: latency summaries per request kind (``"range"``, ``"knn"``, ...)
+    per_kind: dict = field(default_factory=dict)
+    mean_queue_time: float = 0.0
+    mean_dispatch_time: float = 0.0
+    mean_kernel_time: float = 0.0
+    num_batches: int = 0
+    mean_batch_size: float = 0.0
+    #: fraction of deadline-carrying requests that completed late
+    deadline_miss_rate: Optional[float] = None
+
+    def to_result(self, title: str = "service run") -> ExperimentResult:
+        """Render as an ExperimentResult (one row overall + one per kind)."""
+        result = ExperimentResult(experiment="service", title=title)
+        populations = [("all", self.latency)] + sorted(self.per_kind.items())
+        for name, summary in populations:
+            result.add_row(
+                kind=name,
+                requests=summary.count,
+                mean_latency=format_seconds(summary.mean),
+                p50=format_seconds(summary.p50),
+                p90=format_seconds(summary.p90),
+                p99=format_seconds(summary.p99),
+                max=format_seconds(summary.max),
+            )
+        notes = (
+            f"throughput {format_throughput(self.throughput)} over "
+            f"{format_seconds(self.makespan)} makespan "
+            f"(capacity {format_throughput(self.capacity)}, device busy "
+            f"{format_seconds(self.device_busy_time)}); "
+            f"{self.num_batches} micro-batches, mean size {self.mean_batch_size:.1f}; "
+            f"mean queue/dispatch/kernel = {format_seconds(self.mean_queue_time)} / "
+            f"{format_seconds(self.mean_dispatch_time)} / "
+            f"{format_seconds(self.mean_kernel_time)}"
+        )
+        if self.deadline_miss_rate is not None:
+            notes += f"; deadline miss rate {self.deadline_miss_rate:.1%}"
+        result.notes = notes
+        return result
+
+    def to_text(self, title: str = "service run") -> str:
+        """Plain-text rendering (table + summary notes)."""
+        return self.to_result(title).to_text()
+
+
+def summarize(responses: Sequence[Response], batches: Sequence = ()) -> ServiceReport:
+    """Build a :class:`ServiceReport` from one :meth:`GTSService.serve` run.
+
+    ``batches`` is the service's ``MicroBatchRecord`` list; pass
+    ``service.batches`` (or the slice belonging to this run).  An empty
+    response list yields an all-zero report.
+    """
+    responses = list(responses)
+    batches = list(batches)
+    busy = float(sum(b.service_time for b in batches))
+    if not responses:
+        return ServiceReport(
+            num_requests=0,
+            makespan=0.0,
+            throughput=0.0,
+            device_busy_time=busy,
+            capacity=0.0,
+            latency=LatencySummary.from_values([]),
+            num_batches=len(batches),
+        )
+
+    first_arrival = min(r.request.arrival_time for r in responses)
+    last_completion = max(r.completed_at for r in responses)
+    makespan = max(0.0, last_completion - first_arrival)
+
+    per_kind_values: dict[str, list[float]] = {}
+    for response in responses:
+        per_kind_values.setdefault(response.request.kind, []).append(response.latency)
+
+    with_deadline = [r for r in responses if r.request.deadline is not None]
+    miss_rate = None
+    if with_deadline:
+        miss_rate = sum(r.deadline_missed for r in with_deadline) / len(with_deadline)
+
+    return ServiceReport(
+        num_requests=len(responses),
+        makespan=makespan,
+        throughput=throughput_per_minute(len(responses), makespan),
+        device_busy_time=busy,
+        capacity=throughput_per_minute(len(responses), busy),
+        latency=LatencySummary.from_values([r.latency for r in responses]),
+        per_kind={
+            kind: LatencySummary.from_values(values)
+            for kind, values in per_kind_values.items()
+        },
+        mean_queue_time=float(np.mean([r.queue_time for r in responses])),
+        mean_dispatch_time=float(np.mean([r.dispatch_time for r in responses])),
+        mean_kernel_time=float(np.mean([r.kernel_time for r in responses])),
+        num_batches=len(batches),
+        mean_batch_size=float(np.mean([b.size for b in batches])) if batches else 0.0,
+        deadline_miss_rate=miss_rate,
+    )

@@ -1,0 +1,222 @@
+"""Micro-batching policies of the serving layer (DESIGN.md §4).
+
+The service multiplexes many concurrent clients onto one simulated GPU by
+coalescing their requests into *micro-batches*.  The paper's batch search
+algorithms (Algorithms 4-5) reward large batches — one level-synchronous
+descent amortises kernel-launch overhead over every query — but an open-loop
+arrival stream forces a trade-off: waiting longer fills bigger batches and
+raises throughput, while every waited microsecond is queueing latency for the
+requests already in the queue (the classic batching curve of the paper's
+Fig. 9, observed from the client side).
+
+A :class:`SchedulingPolicy` decides *when* to cut a micro-batch.  Both
+shipped policies dispatch requests strictly in arrival order (a prefix of the
+queue), which is what makes the service's answers byte-identical to a
+sequential replay of the same request stream — reordering across an
+insert/delete barrier would change what a query observes.
+
+* :class:`GreedyBatchPolicy` — dispatch as soon as ``max_batch_size``
+  requests are pending or the oldest request has waited ``max_wait``
+  simulated seconds.
+* :class:`DeadlineAwarePolicy` — like greedy, but additionally dispatches
+  early when waiting any longer would make the most urgent pending
+  request's completion deadline unmeetable, using an exponentially-weighted
+  estimate of batch service time learned from previous dispatches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import islice
+from typing import Optional, Sequence
+
+from ..exceptions import QueryError
+from .requests import Request
+
+__all__ = [
+    "Decision",
+    "SchedulingPolicy",
+    "GreedyBatchPolicy",
+    "DeadlineAwarePolicy",
+    "make_policy",
+]
+
+
+@dataclass
+class Decision:
+    """A policy verdict: cut a batch now, or sleep until ``wake_at``.
+
+    Exactly one of the two fields is meaningful: when ``batch`` is non-empty
+    the service dispatches it immediately; otherwise the service advances the
+    simulated clock to ``wake_at`` (or to the next arrival, whichever comes
+    first).
+    """
+
+    batch: list
+    wake_at: float = math.inf
+
+
+class SchedulingPolicy:
+    """Base class of micro-batch cut policies."""
+
+    def __init__(self, max_batch_size: int = 64):
+        if max_batch_size < 1:
+            raise QueryError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        self.max_batch_size = int(max_batch_size)
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def decide(
+        self,
+        pending: Sequence[Request],
+        now: float,
+        next_arrival: Optional[float],
+    ) -> Decision:
+        """Decide whether to dispatch a prefix of ``pending`` at time ``now``.
+
+        ``next_arrival`` is the arrival time of the next request still in the
+        workload stream, or ``None`` when the stream is drained — in the
+        latter case there is nothing left to wait for, so every policy
+        flushes the queue.
+        """
+        raise NotImplementedError
+
+    def observe(self, batch_size: int, service_time: float) -> None:
+        """Feedback hook: one micro-batch of ``batch_size`` took ``service_time``."""
+
+    def _take(self, pending: Sequence[Request]) -> list:
+        """The arrival-ordered prefix that fits in one micro-batch.
+
+        ``islice`` keeps this O(batch) on a deque (deques don't slice).
+        """
+        return list(islice(pending, self.max_batch_size))
+
+
+class GreedyBatchPolicy(SchedulingPolicy):
+    """Dispatch on a full batch or when the oldest request waited ``max_wait``.
+
+    ``max_batch_size=1, max_wait=0.0`` degenerates to per-request dispatch —
+    the no-batching baseline of ``benchmarks/bench_service_throughput.py``.
+    """
+
+    def __init__(self, max_batch_size: int = 64, max_wait: float = 200e-6):
+        super().__init__(max_batch_size)
+        if max_wait < 0:
+            raise QueryError(f"max_wait must be non-negative, got {max_wait}")
+        self.max_wait = float(max_wait)
+
+    def decide(
+        self,
+        pending: Sequence[Request],
+        now: float,
+        next_arrival: Optional[float],
+    ) -> Decision:
+        if not pending:
+            return Decision(batch=[], wake_at=math.inf)
+        if len(pending) >= self.max_batch_size:
+            return Decision(batch=self._take(pending))
+        flush_at = pending[0].arrival_time + self.max_wait
+        if now >= flush_at or next_arrival is None:
+            return Decision(batch=self._take(pending))
+        return Decision(batch=[], wake_at=flush_at)
+
+
+class DeadlineAwarePolicy(SchedulingPolicy):
+    """Cut batches so per-request completion deadlines stay meetable.
+
+    The policy keeps an exponentially-weighted moving estimate of the
+    per-request service cost and the fixed per-batch overhead (seeded from
+    ``initial_request_estimate`` / ``initial_overhead_estimate`` before any
+    feedback arrives).  A batch is cut when
+
+    * it is full (``max_batch_size``), or
+    * the most urgent pending deadline minus the estimated service time of
+      the queue-so-far is now (waiting longer would blow the deadline), or
+    * the oldest request waited ``max_wait`` (the fallback for requests
+      without deadlines), or
+    * the workload stream is drained.
+
+    The safety factor inflates the estimate to absorb service-time variance:
+    with ``safety=1.5`` the policy plans as if batches ran 50 % slower than
+    the moving average.
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int = 64,
+        max_wait: float = 200e-6,
+        initial_request_estimate: float = 5e-6,
+        initial_overhead_estimate: float = 5e-6,
+        safety: float = 1.5,
+        smoothing: float = 0.3,
+    ):
+        super().__init__(max_batch_size)
+        if max_wait < 0:
+            raise QueryError(f"max_wait must be non-negative, got {max_wait}")
+        if not 0 < smoothing <= 1:
+            raise QueryError(f"smoothing must be in (0, 1], got {smoothing}")
+        self.max_wait = float(max_wait)
+        self.safety = float(safety)
+        self.smoothing = float(smoothing)
+        self._per_request = float(initial_request_estimate)
+        self._overhead = float(initial_overhead_estimate)
+
+    def estimated_service_time(self, batch_size: int) -> float:
+        """Predicted simulated seconds to serve a batch of ``batch_size``."""
+        return self.safety * (self._overhead + self._per_request * max(1, batch_size))
+
+    def observe(self, batch_size: int, service_time: float) -> None:
+        """Fold one measured (batch_size, service_time) sample into the model.
+
+        The sample updates the per-request slope against the current overhead
+        estimate; single-request batches mostly inform the overhead term.
+        """
+        if batch_size < 1 or service_time < 0:
+            return
+        alpha = self.smoothing
+        per_request_sample = max(0.0, (service_time - self._overhead) / batch_size)
+        self._per_request += alpha * (per_request_sample - self._per_request)
+        overhead_sample = max(0.0, service_time - self._per_request * batch_size)
+        self._overhead += alpha * (overhead_sample - self._overhead)
+
+    def decide(
+        self,
+        pending: Sequence[Request],
+        now: float,
+        next_arrival: Optional[float],
+    ) -> Decision:
+        if not pending:
+            return Decision(batch=[], wake_at=math.inf)
+        if len(pending) >= self.max_batch_size or next_arrival is None:
+            return Decision(batch=self._take(pending))
+
+        flush_at = pending[0].arrival_time + self.max_wait
+        deadlines = [r.deadline for r in pending if r.deadline is not None]
+        if deadlines:
+            est = self.estimated_service_time(len(pending))
+            latest_start = min(deadlines) - est
+            flush_at = min(flush_at, latest_start)
+        if now >= flush_at:
+            return Decision(batch=self._take(pending))
+        return Decision(batch=[], wake_at=flush_at)
+
+
+#: Policy-name registry used by the CLI and the benchmarks.
+POLICY_REGISTRY = {
+    "greedy": GreedyBatchPolicy,
+    "deadline": DeadlineAwarePolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> SchedulingPolicy:
+    """Instantiate a policy by registry name (``"greedy"`` or ``"deadline"``)."""
+    try:
+        factory = POLICY_REGISTRY[name.strip().lower()]
+    except KeyError:
+        raise QueryError(
+            f"unknown scheduling policy {name!r}; available: {sorted(POLICY_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,192 @@
+"""Synthetic open-loop client workloads for the serving layer.
+
+The generator models the ROADMAP's many-concurrent-users scenario without
+real threads: ``num_clients`` independent clients each emit requests as a
+Poisson process (exponential inter-arrival times at ``rate_per_client``
+requests per simulated second), the per-client streams are merged into one
+arrival-ordered stream, and each request draws
+
+* its **kind** from the configured range/knn/insert/delete mix,
+* its **query payload** from the indexed objects with *hot-key skew* — a
+  Zipf(``zipf_theta``) rank mapped through a seeded permutation, so a small
+  "hot set" of objects receives most of the traffic (set ``zipf_theta=None``
+  for uniform traffic),
+* its **insert payload** from a held-out pool (objects beyond
+  ``num_indexed``), cycling when the pool is exhausted, and
+* its **delete target** from the ids this stream inserted earlier and has
+  not yet deleted.  When no such id exists the request degrades to a kNN
+  query, keeping every generated stream valid to replay.
+
+Everything is a deterministic function of the spec and its ``seed`` — two
+calls with equal arguments produce identical streams, which is what lets the
+tests replay a stream both through :class:`GTSService` and sequentially
+against the bare index and demand identical answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import QueryError
+from .requests import DELETE, INSERT, KNN, RANGE, Request
+
+__all__ = ["WorkloadSpec", "Workload", "generate_workload"]
+
+#: Default request mix: query-heavy with a thin stream of updates.
+DEFAULT_MIX = {RANGE: 0.4, KNN: 0.4, INSERT: 0.1, DELETE: 0.1}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one synthetic client workload."""
+
+    num_clients: int = 4
+    #: open-loop request rate of each client, requests per simulated second
+    rate_per_client: float = 50_000.0
+    #: simulated seconds of arrivals to generate
+    duration: float = 2e-3
+    #: request-kind mix; weights are normalised, kinds may be omitted
+    mix: dict = field(default_factory=lambda: dict(DEFAULT_MIX))
+    #: range-query radius
+    radius: float = 1.0
+    #: kNN k
+    k: int = 8
+    #: Zipf exponent of the hot-key skew (> 1), or ``None`` for uniform
+    zipf_theta: Optional[float] = 1.3
+    #: relative completion deadline added to each arrival, or ``None``
+    deadline: Optional[float] = None
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise QueryError(f"num_clients must be >= 1, got {self.num_clients}")
+        if self.rate_per_client <= 0 or self.duration <= 0:
+            raise QueryError("rate_per_client and duration must be positive")
+        if self.zipf_theta is not None and self.zipf_theta <= 1:
+            raise QueryError(f"zipf_theta must be > 1 (or None), got {self.zipf_theta}")
+        if not self.mix or any(w < 0 for w in self.mix.values()) or sum(self.mix.values()) <= 0:
+            raise QueryError("mix must hold non-negative weights summing to > 0")
+        unknown = set(self.mix) - {RANGE, KNN, INSERT, DELETE}
+        if unknown:
+            raise QueryError(f"unknown request kinds in mix: {sorted(unknown)}")
+
+
+@dataclass
+class Workload:
+    """A generated, arrival-ordered request stream plus its bookkeeping."""
+
+    spec: WorkloadSpec
+    requests: list
+    #: number of objects the target index is expected to be built over
+    num_indexed: int
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds spanned by the arrivals (0.0 when empty)."""
+        return self.requests[-1].arrival_time if self.requests else 0.0
+
+    def kind_counts(self) -> dict:
+        """Histogram of request kinds actually generated."""
+        counts: dict = {}
+        for request in self.requests:
+            counts[request.kind] = counts.get(request.kind, 0) + 1
+        return counts
+
+
+def generate_workload(objects: Sequence, num_indexed: int, spec: WorkloadSpec) -> Workload:
+    """Generate an open-loop request stream over ``objects``.
+
+    ``objects[:num_indexed]`` are assumed to be what the index was built
+    over (query targets and delete candidates); ``objects[num_indexed:]``
+    form the insert pool.  The returned requests are sorted by arrival time
+    and numbered in that order.
+    """
+    if not 0 < num_indexed <= len(objects):
+        raise QueryError(
+            f"num_indexed must be in (0, {len(objects)}], got {num_indexed}"
+        )
+    rng = np.random.default_rng(spec.seed)
+
+    # --- merged Poisson arrival stream
+    arrivals: list[tuple[float, int]] = []
+    for client_id in range(spec.num_clients):
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / spec.rate_per_client))
+            if t > spec.duration:
+                break
+            arrivals.append((t, client_id))
+    arrivals.sort()
+
+    kinds = sorted(spec.mix)
+    weights = np.asarray([spec.mix[kind] for kind in kinds], dtype=np.float64)
+    weights = weights / weights.sum()
+
+    # --- hot-key skew: a seeded permutation makes the Zipf head land on a
+    # pseudo-random (but reproducible) subset of the indexed objects
+    hot_permutation = rng.permutation(num_indexed)
+
+    insert_pool = list(range(num_indexed, len(objects)))
+    next_insert_id = num_indexed  # GTS assigns len(objects_so_far) to inserts
+    inserts_used = 0
+    deletable: list[int] = []
+
+    requests: list[Request] = []
+    for request_id, (arrival, client_id) in enumerate(arrivals):
+        kind = kinds[int(rng.choice(len(kinds), p=weights))]
+        if kind == DELETE and not deletable:
+            kind = KNN  # nothing valid to delete yet; degrade to a query
+        deadline = None if spec.deadline is None else arrival + spec.deadline
+
+        if kind in (RANGE, KNN):
+            if spec.zipf_theta is None:
+                target = int(rng.integers(num_indexed))
+            else:
+                rank = int(rng.zipf(spec.zipf_theta))
+                target = int(hot_permutation[(rank - 1) % num_indexed])
+            requests.append(
+                Request(
+                    request_id=request_id,
+                    client_id=client_id,
+                    kind=kind,
+                    arrival_time=arrival,
+                    payload=objects[target],
+                    radius=spec.radius if kind == RANGE else None,
+                    k=spec.k if kind == KNN else None,
+                    deadline=deadline,
+                )
+            )
+        elif kind == INSERT:
+            pool_index = insert_pool[inserts_used % len(insert_pool)] if insert_pool else int(
+                rng.integers(num_indexed)
+            )
+            inserts_used += 1
+            deletable.append(next_insert_id)
+            next_insert_id += 1
+            requests.append(
+                Request(
+                    request_id=request_id,
+                    client_id=client_id,
+                    kind=INSERT,
+                    arrival_time=arrival,
+                    payload=objects[pool_index],
+                    deadline=deadline,
+                )
+            )
+        else:  # DELETE
+            victim = deletable.pop(int(rng.integers(len(deletable))))
+            requests.append(
+                Request(
+                    request_id=request_id,
+                    client_id=client_id,
+                    kind=DELETE,
+                    arrival_time=arrival,
+                    payload=victim,
+                    deadline=deadline,
+                )
+            )
+
+    return Workload(spec=spec, requests=requests, num_indexed=num_indexed)

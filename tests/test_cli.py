@@ -130,3 +130,30 @@ class TestExperimentCommand:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "table99"])
+
+
+class TestServeSimCommand:
+    def test_serves_workload_and_verifies(self, capsys):
+        code = main([
+            "serve-sim", "--dataset", "tloc", "--cardinality", "600",
+            "--clients", "3", "--rate", "60000", "--duration", "0.001",
+            "--max-batch", "16", "--verify",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload" in out
+        assert "micro-batches" in out
+        assert "identical to sequential replay" in out
+
+    def test_deadline_policy_reports_miss_rate(self, capsys):
+        code = main([
+            "serve-sim", "--dataset", "tloc", "--cardinality", "400",
+            "--clients", "3", "--rate", "50000", "--duration", "0.001",
+            "--policy", "deadline", "--deadline", "0.0005",
+        ])
+        assert code == 0
+        assert "deadline miss rate" in capsys.readouterr().out
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-sim", "--policy", "fifo"])
