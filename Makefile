@@ -23,7 +23,8 @@ bench-smoke:
 		benchmarks/bench_approx.py \
 		benchmarks/bench_fig8_gpu_memory.py \
 		benchmarks/bench_fig10_identical.py \
-		benchmarks/bench_service_throughput.py
+		benchmarks/bench_service_throughput.py \
+		benchmarks/bench_sharding.py
 
 # bench_*.py does not match pytest's default test-file pattern, so the files
 # must be named explicitly (a bare `pytest benchmarks` collects nothing).

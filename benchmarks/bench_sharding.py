@@ -1,0 +1,54 @@
+"""Multi-device sharding — scatter-gather scale-out (DESIGN.md §6).
+
+Reproduced shape: partitioning the object store across K simulated devices
+and answering query batches by broadcast + makespan-priced parallel descent
+raises batch-query throughput monotonically from 1 to 4 shards (strong
+scaling), because each shard's tree covers only ``n/K`` objects while the
+shards run concurrently; the host-side merge term and the per-shard
+kernel-launch floor keep the curve below ideal.  With the per-shard data
+held constant instead (weak scaling), throughput stays close to flat —
+the scatter-gather overheads grow only logarithmically in K.
+
+Sharding must buy speed without changing answers: every strong-scaling row
+verifies the sharded index's range and kNN batches against a single-device
+GTS over the same data (the ``correct`` column).
+"""
+
+from __future__ import annotations
+
+from repro.shard import experiment_sharding_scaleout
+
+from .conftest import BENCH_SCALE, attach, ok_rows, run_once
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def test_sharding_scaleout(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_sharding_scaleout,
+        shard_counts=SHARD_COUNTS,
+        scale=BENCH_SCALE,
+    )
+    attach(benchmark, result)
+
+    strong = {row["shards"]: row for row in ok_rows(result, mode="strong")}
+    assert set(strong) == set(SHARD_COUNTS)
+
+    # exactness is preserved under sharding: per-shard answers merged equal
+    # the single-device GTS on the same data
+    assert all(row["correct"] for row in strong.values())
+
+    # batch-query throughput increases monotonically from 1 to 4 shards
+    for column in ("mrq_throughput", "mknn_throughput"):
+        series = [strong[k][column] for k in SHARD_COUNTS]
+        assert series == sorted(series), f"{column} not monotone: {series}"
+    assert strong[4]["knn_speedup"] > 1.0
+
+    # ... but below ideal: the merge term and launch floors cost something
+    assert strong[4]["knn_speedup"] < 4.0
+
+    # weak scaling: per-shard data constant, throughput near-flat
+    weak = {row["shards"]: row for row in ok_rows(result, mode="weak")}
+    assert set(weak) == set(SHARD_COUNTS)
+    assert weak[max(SHARD_COUNTS)]["efficiency"] > 0.5

@@ -1,0 +1,81 @@
+"""Multi-device scale-out: one dataset, 1 → 4 simulated GPUs.
+
+Run with::
+
+    python examples/sharded_scaleout.py
+
+The script builds the same clustered 2-d dataset into a single-device GTS
+and into ShardedGTS indexes with 2 and 4 shards, answers an identical query
+batch on each, and prints the throughput curve.  It then demonstrates that
+sharding is invisible to callers: answers match the single-device index
+exactly (global object ids included), streaming inserts/deletes are routed
+to the owning shard, and the concurrent serving layer (GTSService) runs over
+the sharded index unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EuclideanDistance, GTS, GTSService, ShardedGTS
+from repro.gpusim import DeviceSpec
+
+
+def main() -> None:
+    rng = np.random.default_rng(29)
+
+    # --- a clustered 2-d dataset plus a held-out query batch
+    centers = rng.uniform(-40, 40, size=(8, 2))
+    points = centers[rng.integers(0, 8, size=6_000)] + rng.normal(scale=1.2, size=(6_000, 2))
+    queries = [points[int(i)] + 0.01 for i in rng.integers(0, len(points), size=96)]
+    k, radius = 16, 1.5
+
+    # A narrow device keeps the toy dataset in the compute-bound regime the
+    # paper's full-size datasets occupy (see DESIGN.md §6).
+    spec = DeviceSpec().with_cores(256)
+
+    # --- single device: the baseline and the exactness reference
+    single = GTS.build(points, EuclideanDistance(), node_capacity=20, seed=29)
+    expected_knn = single.knn_query_batch(queries, k)
+    expected_range = single.range_query_batch(queries, radius)
+
+    print(f"{'shards':>6} | {'build (sim)':>12} | {'kNN batch (sim)':>16} | {'speedup':>8} | exact")
+    print("-" * 62)
+    base_time = None
+    for num_shards in (1, 2, 4):
+        index = ShardedGTS.build(
+            points, EuclideanDistance(), num_shards=num_shards,
+            node_capacity=20, device_spec=spec, seed=29,
+        )
+        build_time = index.device.stats.sim_time
+        before = index.device.stats.sim_time
+        answers = index.knn_query_batch(queries, k)
+        elapsed = index.device.stats.sim_time - before
+        base_time = base_time or elapsed
+        exact = answers == expected_knn and index.range_query_batch(queries, radius) == expected_range
+        print(f"{num_shards:>6} | {build_time * 1e6:>9.2f} us | {elapsed * 1e6:>13.2f} us "
+              f"| {base_time / elapsed:>7.2f}x | {exact}")
+        if num_shards < 4:
+            index.close()
+
+    # --- streaming updates are routed to the owning shard
+    sharded = index  # the 4-shard index from the loop
+    new_id = sharded.insert(np.array([99.0, 99.0]))
+    print(f"\ninsert -> global id {new_id}, shard sizes now {sharded.shard_sizes}")
+    assert sharded.knn_query(np.array([99.0, 99.0]), 1)[0][0] == new_id
+    sharded.delete(new_id)
+    print(f"delete {new_id} -> routed back; live objects: {len(sharded)}")
+
+    # --- the serving layer runs over a sharded index unchanged
+    service = GTSService(sharded)
+    for i in range(32):
+        service.submit("knn", payload=queries[i], k=4, client_id=i % 4)
+    responses = service.flush()
+    print(f"GTSService over 4 shards: {len(responses)} responses "
+          f"in {len(service.batches)} micro-batch(es)")
+    sharded.close()
+    single.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,9 @@ in the SIGMOD 2024 paper, on top of a simulated GPU substrate:
 * :mod:`repro.evalsuite` — workloads, runners and reporting for every table
   and figure of the paper's evaluation;
 * :mod:`repro.service` — the concurrent query-serving layer (micro-batching
-  scheduler, open-loop client workloads, latency reports).
+  scheduler, open-loop client workloads, latency reports);
+* :mod:`repro.shard` — the multi-device sharded index (scatter-gather
+  scale-out across several simulated GPUs).
 
 Quickstart::
 
@@ -46,6 +48,7 @@ from .exceptions import (
     UpdateError,
 )
 from .gpusim import CPUExecutor, CPUSpec, Device, DeviceSpec
+from .shard import ShardedGTS, make_assignment_policy
 from .service import (
     DeadlineAwarePolicy,
     GreedyBatchPolicy,
@@ -70,6 +73,8 @@ __version__ = "1.0.0"
 __all__ = [
     "GTS",
     "MultiColumnGTS",
+    "ShardedGTS",
+    "make_assignment_policy",
     "ApproximateGTS",
     "LearnedLeafRouter",
     "PruneMode",

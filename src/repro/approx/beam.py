@@ -35,6 +35,7 @@ import numpy as np
 from ..core.construction import take_objects
 from ..core.gts import GTS
 from ..core.nodes import TreeStructure
+from ..core.searchcommon import broadcast_query_param
 from ..exceptions import QueryError
 from ..gpusim.device import Device
 from ..metrics.base import Metric
@@ -82,7 +83,7 @@ class ApproximateGTS:
 
     def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
         """Approximate batch kNN: per query, the best k candidates the beam saw."""
-        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
+        k_arr = broadcast_query_param(k, len(queries), "k", np.int64)
         if np.any(k_arr <= 0):
             raise QueryError("k must be positive")
         pools = self._descend(queries, radii=None)
@@ -98,7 +99,7 @@ class ApproximateGTS:
 
     def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
         """Approximate batch range query: verified hits within the beam only."""
-        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries),))
+        radii_arr = broadcast_query_param(radii, len(queries), "radii", np.float64)
         if np.any(radii_arr < 0):
             raise QueryError("range query radius must be non-negative")
         pools = self._descend(queries, radii=radii_arr)

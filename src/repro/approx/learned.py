@@ -30,6 +30,7 @@ import numpy as np
 
 from ..core.construction import take_objects
 from ..core.gts import GTS
+from ..core.searchcommon import broadcast_query_param
 from ..exceptions import QueryError
 from ..metrics.base import Metric
 
@@ -242,7 +243,7 @@ class LearnedLeafRouter:
 
     def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
         """Batch wrapper around :meth:`knn_query`."""
-        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
+        k_arr = broadcast_query_param(k, len(queries), "k", np.int64)
         return [self.knn_query(q, int(kk)) for q, kk in zip(queries, k_arr)]
 
     def range_query(self, query, radius: float) -> list[tuple[int, float]]:
@@ -255,7 +256,7 @@ class LearnedLeafRouter:
 
     def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
         """Batch wrapper around :meth:`range_query`."""
-        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries),))
+        radii_arr = broadcast_query_param(radii, len(queries), "radii", np.float64)
         return [self.range_query(q, float(r)) for q, r in zip(queries, radii_arr)]
 
     def _verify(self, query, leaf_ids: np.ndarray) -> dict[int, float]:

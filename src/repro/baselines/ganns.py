@@ -25,6 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.searchcommon import broadcast_query_param
 from ..exceptions import BaselineError, MemoryDeadlockError, UnsupportedMetricError
 from ..gpusim.kernels import distance_matrix_kernel
 from ..metrics.base import Metric
@@ -126,7 +127,7 @@ class GANNS(GPUSimilarityIndex):
     def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
         self._require_built()
         queries_arr = np.asarray(queries, dtype=np.float64)
-        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries_arr),))
+        k_arr = broadcast_query_param(k, len(queries_arr), "k", np.int64)
         out: list[list[tuple[int, float]]] = []
         total_work = 0
         host_start = time.perf_counter()

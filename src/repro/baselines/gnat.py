@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..core.searchcommon import broadcast_query_param
 from ..exceptions import BaselineError
 from .base import CPUSimilarityIndex
 
@@ -139,7 +140,7 @@ class GNAT(CPUSimilarityIndex):
     # --------------------------------------------------------------- queries
     def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
         self._require_built()
-        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries),))
+        radii_arr = broadcast_query_param(radii, len(queries), "radii", np.float64)
         out = []
         for query, radius in zip(queries, radii_arr):
             hits: list[tuple[int, float]] = []
@@ -178,7 +179,7 @@ class GNAT(CPUSimilarityIndex):
 
     def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
         self._require_built()
-        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
+        k_arr = broadcast_query_param(k, len(queries), "k", np.int64)
         out = []
         for query, kk in zip(queries, k_arr):
             pool: dict[int, float] = {}

@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.searchcommon import broadcast_query_param
 from ..exceptions import MemoryDeadlockError
 from ..gpusim.kernels import distance_matrix_kernel, topk_kernel
 from .base import GPUSimilarityIndex
@@ -68,7 +69,7 @@ class GPUTable(GPUSimilarityIndex):
 
     def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
         self._require_built()
-        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries),))
+        radii_arr = broadcast_query_param(radii, len(queries), "radii", np.float64)
         table, alloc = self._distance_table(queries)
         # filtering kernel over every cell of the table
         self.device.launch_kernel(work_items=table.size, op_cost=1.0, label="gpu-table-filter")
@@ -85,7 +86,7 @@ class GPUTable(GPUSimilarityIndex):
 
     def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
         self._require_built()
-        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
+        k_arr = broadcast_query_param(k, len(queries), "k", np.int64)
         table, alloc = self._distance_table(queries)
         out = []
         for qi in range(len(queries)):

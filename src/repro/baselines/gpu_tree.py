@@ -30,6 +30,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..core.searchcommon import broadcast_query_param
 from ..exceptions import MemoryDeadlockError
 from .base import GPUSimilarityIndex
 
@@ -190,7 +191,7 @@ class GPUTree(GPUSimilarityIndex):
 
     def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
         self._require_built()
-        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries),))
+        radii_arr = broadcast_query_param(radii, len(queries), "radii", np.float64)
         buffers = self._allocate_result_buffers(len(queries))
         out: list[list[tuple[int, float]]] = []
         per_pair_work: list[int] = []
@@ -228,7 +229,7 @@ class GPUTree(GPUSimilarityIndex):
 
     def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
         self._require_built()
-        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
+        k_arr = broadcast_query_param(k, len(queries), "k", np.int64)
         buffers = self._allocate_result_buffers(len(queries))
         out: list[list[tuple[int, float]]] = []
         per_pair_work: list[int] = []

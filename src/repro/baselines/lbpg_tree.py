@@ -32,6 +32,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.searchcommon import broadcast_query_param
 from ..exceptions import MemoryDeadlockError, UnsupportedMetricError
 from ..metrics.base import Metric
 from ..metrics.vector import MinkowskiDistance
@@ -145,7 +146,7 @@ class LBPGTree(GPUSimilarityIndex):
     def range_query_batch(self, queries: Sequence, radii) -> list[list[tuple[int, float]]]:
         self._require_built()
         queries_arr = np.asarray(queries, dtype=np.float64)
-        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries_arr),))
+        radii_arr = broadcast_query_param(radii, len(queries_arr), "radii", np.float64)
         # candidate node lists per query, one level at a time
         cands = [np.arange(len(self._levels[0]["lo"])) for _ in range(len(queries_arr))]
         for depth, level in enumerate(self._levels):
@@ -200,7 +201,7 @@ class LBPGTree(GPUSimilarityIndex):
     def knn_query_batch(self, queries: Sequence, k) -> list[list[tuple[int, float]]]:
         self._require_built()
         queries_arr = np.asarray(queries, dtype=np.float64)
-        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries_arr),))
+        k_arr = broadcast_query_param(k, len(queries_arr), "k", np.int64)
         pools: list[dict[int, float]] = [dict() for _ in range(len(queries_arr))]
         # Seed pass: greedily descend to the most promising leaf per query and
         # verify it, so the level-synchronous sweep starts with a finite k-th

@@ -21,7 +21,9 @@ writing Python:
     Simulate the concurrent query-serving layer: N open-loop clients issue
     mixed range/kNN/insert/delete requests, a micro-batching scheduler
     coalesces them, and the throughput/latency-percentile report is printed
-    (see DESIGN.md §4).
+    (see DESIGN.md §4).  With ``--shards K`` the service runs over a
+    multi-device :class:`~repro.shard.ShardedGTS` instead of a single-GPU
+    index (DESIGN.md §6).
 
 Every command prints plain text to stdout; exit status is 0 on success and
 2 on argument errors (argparse's convention).
@@ -49,6 +51,8 @@ from .gpusim.specs import DeviceSpec, MiB
 from .metrics import available_metrics
 from .service import experiment as _service_experiment
 from .service.scheduler import POLICY_REGISTRY, make_policy
+from .shard import ASSIGNMENT_POLICIES, ShardedGTS
+from .shard import experiment as _shard_experiment
 
 __all__ = ["main", "build_parser", "EXPERIMENT_REGISTRY"]
 
@@ -69,12 +73,20 @@ EXPERIMENT_REGISTRY = {
     "extended-baselines": _extensions.experiment_extended_baselines,
     "approx-tradeoff": _extensions.experiment_approximate_tradeoff,
     "service-batching": _service_experiment.experiment_service_batching,
+    "sharding-scaleout": _shard_experiment.experiment_sharding_scaleout,
 }
 
 
 # --------------------------------------------------------------------------
 # Parser
 # --------------------------------------------------------------------------
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return number
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -122,6 +134,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dataset_arguments(p_serve)
     p_serve.add_argument("--node-capacity", type=int, default=20, help="tree fan-out Nc (default 20)")
+    p_serve.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="serve a multi-device sharded index with this many shards (default 1 = single GPU)",
+    )
+    p_serve.add_argument(
+        "--shard-policy", choices=sorted(ASSIGNMENT_POLICIES), default="round-robin",
+        help="shard-assignment policy when --shards > 1 (default round-robin)",
+    )
     p_serve.add_argument("--clients", type=int, default=6, help="number of simulated clients (default 6)")
     p_serve.add_argument(
         "--rate", type=float, default=100_000.0,
@@ -282,12 +302,24 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     print(f"dataset    : {dataset.name} ({num_indexed} indexed, "
           f"{dataset.cardinality - num_indexed} held out for inserts)")
 
-    index = GTS.build(
-        dataset.objects[:num_indexed],
-        dataset.metric,
-        node_capacity=args.node_capacity,
-        seed=args.seed,
-    )
+    if args.shards > 1:
+        index = ShardedGTS.build(
+            dataset.objects[:num_indexed],
+            dataset.metric,
+            num_shards=args.shards,
+            assignment=args.shard_policy,
+            node_capacity=args.node_capacity,
+            seed=args.seed,
+        )
+        print(f"index      : {args.shards} shards ({args.shard_policy}), "
+              f"sizes {index.shard_sizes}")
+    else:
+        index = GTS.build(
+            dataset.objects[:num_indexed],
+            dataset.metric,
+            node_capacity=args.node_capacity,
+            seed=args.seed,
+        )
     spec = WorkloadSpec(
         num_clients=args.clients,
         rate_per_client=args.rate,

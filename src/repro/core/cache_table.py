@@ -80,6 +80,10 @@ class CacheTable:
         """Ids of the objects currently buffered (insertion order)."""
         return list(self._objects)
 
+    def get(self, obj_id: int, default=None):
+        """Return the buffered object under ``obj_id`` in O(1), or ``default``."""
+        return self._objects.get(int(obj_id), default)
+
     @staticmethod
     def _object_size(obj) -> int:
         return max(1, objects_nbytes([obj]))

@@ -48,12 +48,55 @@ from .cost_model import (
 from .knn_query import batch_knn_query
 from .nodes import TreeStructure
 from .range_query import batch_range_query
-from .searchcommon import PruneMode
+from .searchcommon import PruneMode, broadcast_query_param
 
-__all__ = ["GTS"]
+__all__ = ["GTS", "execute_operation_batch"]
 
 #: Default cache-table budget; the paper recommends ~5 KB (Section 6.2).
 DEFAULT_CACHE_BYTES = 5 * 1024
+
+#: Sentinel distinguishing "not cached" from any cacheable object.
+_MISSING = object()
+
+
+def execute_operation_batch(index, ops: Sequence[tuple]) -> list:
+    """Run a mixed operation batch against any index exposing the GTS API.
+
+    The shared implementation behind :meth:`GTS.execute_batch` and
+    :meth:`repro.shard.ShardedGTS.execute_batch` — ``index`` only needs
+    ``range_query_batch`` / ``knn_query_batch`` / ``insert`` / ``delete``.
+    Maximal runs of consecutive same-kind queries are coalesced into one
+    batch call; updates act as barriers; results come back in submission
+    order, one entry per operation.
+    """
+    results: list = [None] * len(ops)
+    start = 0
+    while start < len(ops):
+        kind = ops[start][0]
+        end = start
+        while end < len(ops) and ops[end][0] == kind and kind in ("range", "knn"):
+            end += 1
+        if kind == "range":
+            queries = [op[1] for op in ops[start:end]]
+            radii = np.asarray([float(op[2]) for op in ops[start:end]], dtype=np.float64)
+            for offset, answer in enumerate(index.range_query_batch(queries, radii)):
+                results[start + offset] = answer
+            start = end
+        elif kind == "knn":
+            queries = [op[1] for op in ops[start:end]]
+            ks = np.asarray([int(op[2]) for op in ops[start:end]], dtype=np.int64)
+            for offset, answer in enumerate(index.knn_query_batch(queries, ks)):
+                results[start + offset] = answer
+            start = end
+        elif kind == "insert":
+            results[start] = index.insert(ops[start][1])
+            start += 1
+        elif kind == "delete":
+            results[start] = index.delete(int(ops[start][1]))
+            start += 1
+        else:
+            raise QueryError(f"unknown batch operation kind {kind!r}")
+    return results
 
 
 class GTS:
@@ -95,7 +138,8 @@ class GTS:
         self.device = device or Device(DeviceSpec())
         self.pivot_strategy = pivot_strategy
         self.prune_mode = PruneMode.from_name(prune_mode)
-        self._rng = np.random.default_rng(seed)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
 
         self._objects: list = []
         self._indexed_ids = np.zeros(0, dtype=np.int64)
@@ -238,8 +282,9 @@ class GTS:
     def get_object(self, obj_id: int):
         """Return the object registered under ``obj_id``."""
         obj_id = int(obj_id)
-        if obj_id in self._cache:
-            return dict(self._cache.items())[obj_id]
+        cached = self._cache.get(obj_id, _MISSING)
+        if cached is not _MISSING:
+            return cached
         if 0 <= obj_id < len(self._objects):
             return self._objects[obj_id]
         raise IndexError_(f"unknown object id {obj_id}")
@@ -299,19 +344,21 @@ class GTS:
         cache-table's (Section 4.4) and never contain deleted objects.
         """
         self._require_built()
+        # Validate up front so malformed radii fail identically on every
+        # path (including the cache-empty fast return below).
+        radii_arr = broadcast_query_param(radii, len(queries), "radii", np.float64)
         tree_results = batch_range_query(
             self._tree,
             self._objects,
             self.metric,
             self.device,
             queries,
-            radii,
+            radii_arr,
             exclude=self._tombstones or None,
             prune_mode=self.prune_mode,
         )
         if len(self._cache) == 0:
             return tree_results
-        radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(queries),))
         merged = []
         for qi, query in enumerate(queries):
             extra = self._cache.range_scan(self.metric, query, float(radii_arr[qi]), self.device)
@@ -353,7 +400,7 @@ class GTS:
         tied objects completes the answer.
         """
         self._require_built()
-        k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (len(queries),))
+        k_arr = broadcast_query_param(k, len(queries), "k", np.int64)
         if np.any(k_arr <= 0):
             raise QueryError("k must be positive")
         tree_results = batch_knn_query(
@@ -406,34 +453,7 @@ class GTS:
         Results come back in submission order, one entry per operation.
         """
         self._require_built()
-        results: list = [None] * len(ops)
-        start = 0
-        while start < len(ops):
-            kind = ops[start][0]
-            end = start
-            while end < len(ops) and ops[end][0] == kind and kind in ("range", "knn"):
-                end += 1
-            if kind == "range":
-                queries = [op[1] for op in ops[start:end]]
-                radii = np.asarray([float(op[2]) for op in ops[start:end]], dtype=np.float64)
-                for offset, answer in enumerate(self.range_query_batch(queries, radii)):
-                    results[start + offset] = answer
-                start = end
-            elif kind == "knn":
-                queries = [op[1] for op in ops[start:end]]
-                ks = np.asarray([int(op[2]) for op in ops[start:end]], dtype=np.int64)
-                for offset, answer in enumerate(self.knn_query_batch(queries, ks)):
-                    results[start + offset] = answer
-                start = end
-            elif kind == "insert":
-                results[start] = self.insert(ops[start][1])
-                start += 1
-            elif kind == "delete":
-                results[start] = self.delete(int(ops[start][1]))
-                start += 1
-            else:
-                raise QueryError(f"unknown batch operation kind {kind!r}")
-        return results
+        return execute_operation_batch(self, ops)
 
     # -------------------------------------------------------------- updates
     def insert(self, obj) -> int:
@@ -477,14 +497,19 @@ class GTS:
         """
         self._require_built()
         obj_id = int(obj_id)
-        # O(1): locating the slot and flipping the tombstone mark is one device write
-        self.device.launch_kernel(work_items=1, op_cost=1.0, label="tombstone-mark")
-        if self._cache.remove(obj_id):
+        # Validate before charging: a rejected delete must not advance the
+        # simulated clock or pollute ExecutionStats.
+        if obj_id in self._cache:
+            # O(1): dropping the cached slot is one device write
+            self.device.launch_kernel(work_items=1, op_cost=1.0, label="tombstone-mark")
+            self._cache.remove(obj_id)
             return
         if obj_id in self._tombstones:
             raise UpdateError(f"object {obj_id} has already been deleted")
         if obj_id < 0 or obj_id >= len(self._objects) or obj_id not in self._indexed_id_set:
             raise UpdateError(f"unknown object id {obj_id}")
+        # O(1): locating the slot and flipping the tombstone mark is one device write
+        self.device.launch_kernel(work_items=1, op_cost=1.0, label="tombstone-mark")
         self._tombstones.add(obj_id)
 
     def update(self, obj_id: int, new_obj) -> int:
@@ -524,7 +549,13 @@ class GTS:
         """
         self._require_built()
         delete_set = {int(d) for d in deletes}
-        unknown = delete_set - self._indexed_id_set - {oid for oid, _ in self._cache.items()}
+        already_deleted = delete_set & self._tombstones
+        if already_deleted:
+            raise UpdateError(
+                f"objects have already been deleted: {sorted(already_deleted)}"
+            )
+        cached_ids = {oid for oid, _ in self._cache.items()}
+        unknown = delete_set - (self._indexed_id_set - self._tombstones) - cached_ids
         if unknown:
             raise UpdateError(f"cannot delete unknown object ids: {sorted(unknown)}")
         for obj_id in delete_set:

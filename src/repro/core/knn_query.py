@@ -35,6 +35,7 @@ from .searchcommon import (
     RESULT_BYTES,
     IntermediateTable,
     PruneMode,
+    broadcast_query_param,
     level_pair_limit,
     pivot_distances_per_query,
     prune_children,
@@ -245,7 +246,7 @@ def batch_knn_query(
     then id, of length ``min(k, number of visible objects)``.
     """
     num_queries = len(queries)
-    k_arr = np.broadcast_to(np.asarray(k, dtype=np.int64), (num_queries,)).copy()
+    k_arr = broadcast_query_param(k, num_queries, "k", np.int64)
     if np.any(k_arr <= 0):
         raise QueryError("k must be positive for a kNN query")
     mode = prune_mode if isinstance(prune_mode, PruneMode) else PruneMode.from_name(prune_mode)

@@ -42,7 +42,13 @@ from .nodes import TreeStructure
 __all__ = ["save_index", "load_index", "INDEX_FORMAT_VERSION"]
 
 #: Version stamp written into every archive; bumped on incompatible changes.
-INDEX_FORMAT_VERSION = 1
+#: Version 2 added the construction ``seed`` and RNG state to the meta block;
+#: version-1 archives are still read (their indexes fall back to the default
+#: seed, version 1's behaviour).
+INDEX_FORMAT_VERSION = 2
+
+#: Archive versions :func:`load_index` understands.
+_READABLE_FORMAT_VERSIONS = (1, 2)
 
 #: Maps metric instance names to metric-registry keys for round-tripping.
 _METRIC_NAME_TO_KEY = {
@@ -82,6 +88,11 @@ def save_index(index, path) -> Path:
         "pivot_strategy": index.pivot_strategy,
         "prune_mode": "two-sided" if index.prune_mode.two_sided else "one-sided",
         "cache_capacity_bytes": index._cache.capacity_bytes,
+        # The seed alone is not enough for post-load determinism: builds
+        # consume the RNG, so the live generator state must round-trip for a
+        # loaded index's next rebuild to match the never-saved index's.
+        "seed": index.seed,
+        "rng_state": index._rng.bit_generator.state,
         "height": tree.height,
         "num_objects": tree.num_objects,
         "rebuild_count": index.rebuild_count,
@@ -144,10 +155,10 @@ def load_index(path, metric: Optional[Metric] = None, device: Optional[Device] =
         raise IndexError_(f"index archive not found: {path}")
     with np.load(path, allow_pickle=True) as archive:
         meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
-        if meta.get("format_version") != INDEX_FORMAT_VERSION:
+        if meta.get("format_version") not in _READABLE_FORMAT_VERSIONS:
             raise IndexError_(
                 f"unsupported index format version {meta.get('format_version')!r}; "
-                f"this build reads version {INDEX_FORMAT_VERSION}"
+                f"this build reads versions {_READABLE_FORMAT_VERSIONS}"
             )
         if metric is None:
             key = meta.get("metric_key")
@@ -184,7 +195,10 @@ def load_index(path, metric: Optional[Metric] = None, device: Optional[Device] =
         cache_capacity_bytes=int(meta["cache_capacity_bytes"]),
         pivot_strategy=meta["pivot_strategy"],
         prune_mode=meta["prune_mode"],
+        seed=int(meta.get("seed", 17)),
     )
+    if meta.get("rng_state") is not None:
+        index._rng.bit_generator.state = meta["rng_state"]
     index._objects = objects
     index._indexed_ids = indexed_ids
     index._tombstones = tombstones

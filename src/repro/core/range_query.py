@@ -36,6 +36,7 @@ from .searchcommon import (
     RESULT_BYTES,
     IntermediateTable,
     PruneMode,
+    broadcast_query_param,
     level_pair_limit,
     pivot_distances_per_query,
     prune_children,
@@ -215,7 +216,7 @@ def batch_range_query(
     distance then id, all within the query's radius.
     """
     num_queries = len(queries)
-    radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (num_queries,)).copy()
+    radii_arr = broadcast_query_param(radii, num_queries, "radii", np.float64)
     if np.any(radii_arr < 0):
         raise QueryError("range query radius must be non-negative")
     mode = prune_mode if isinstance(prune_mode, PruneMode) else PruneMode.from_name(prune_mode)

@@ -32,6 +32,7 @@ from .nodes import TreeStructure
 __all__ = [
     "ENTRY_BYTES",
     "PruneMode",
+    "broadcast_query_param",
     "level_pair_limit",
     "split_into_groups",
     "pivot_distances_per_query",
@@ -44,6 +45,29 @@ ENTRY_BYTES = 32
 
 #: Simulated size of one verified-result slot ``{object, distance}``.
 RESULT_BYTES = 16
+
+
+def broadcast_query_param(values, num_queries: int, name: str, dtype) -> np.ndarray:
+    """Broadcast a per-query parameter (radii, ``k``) to the batch shape.
+
+    Accepts a scalar shared by every query, a length-1 sequence, or one value
+    per query.  Anything else — wrong length, extra dimensions, non-numeric
+    entries — raises :class:`~repro.exceptions.QueryError` naming the
+    parameter and both shapes, instead of the raw NumPy ``ValueError`` the
+    bare ``np.broadcast_to`` produces.
+    """
+    try:
+        arr = np.asarray(values, dtype=dtype)
+    except (TypeError, ValueError) as exc:
+        raise QueryError(
+            f"{name} must be numeric (a scalar or one value per query), got {values!r}"
+        ) from exc
+    if arr.ndim > 1 or (arr.ndim == 1 and arr.shape[0] not in (1, num_queries)):
+        raise QueryError(
+            f"{name} must be a scalar or match the query batch: "
+            f"expected shape ({num_queries},), got shape {arr.shape}"
+        )
+    return np.broadcast_to(arr, (num_queries,)).copy()
 
 
 @dataclass(frozen=True)

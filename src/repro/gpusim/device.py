@@ -263,6 +263,31 @@ class Device:
         self.stats.sim_time += elapsed
         return elapsed
 
+    def absorb(self, stats: ExecutionStats, sim_time: Optional[float] = None) -> float:
+        """Fold another executor's activity delta into this device's timeline.
+
+        The multi-device sharding layer (:mod:`repro.shard`) runs shards on
+        independent devices *in parallel*, so the coordinating timeline must
+        advance by the round's **makespan** — pass it as ``sim_time`` — while
+        the additive work counters (kernel launches, ops, transfers) keep
+        their true totals across shards.  With ``sim_time`` omitted the
+        delta's own ``sim_time`` is charged (serial host-side work).  Memory
+        counters (allocations, frees, peak) describe the *other* device's
+        memory and are not folded in.  Returns the seconds charged.
+        """
+        elapsed = stats.sim_time if sim_time is None else float(sim_time)
+        if elapsed < 0:
+            raise KernelError(f"absorbed sim_time must be non-negative, got {elapsed}")
+        self.stats.kernel_launches += stats.kernel_launches
+        self.stats.parallel_steps += stats.parallel_steps
+        self.stats.total_ops += stats.total_ops
+        self.stats.sorted_elements += stats.sorted_elements
+        self.stats.bytes_to_device += stats.bytes_to_device
+        self.stats.bytes_to_host += stats.bytes_to_host
+        self.stats.host_time += stats.host_time
+        self.stats.sim_time += elapsed
+        return elapsed
+
     # ------------------------------------------------------------- lifecycle
     def snapshot(self) -> ExecutionStats:
         """Return a copy of the current counters (for delta measurements)."""

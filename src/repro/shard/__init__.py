@@ -1,0 +1,58 @@
+"""Multi-device sharded GTS index (scatter-gather scale-out).
+
+The paper's design is single-GPU; this package adds the scale-out layer a
+production deployment would put on top — the same move Faiss makes for
+billion-scale search (Johnson et al.): partition the object store across
+``K`` devices, build per-shard GTS trees in parallel, broadcast query
+batches to every shard and merge the per-shard answers on the host.
+
+* :mod:`repro.shard.policy` — pluggable shard-assignment policies
+  (round-robin, size-balanced);
+* :mod:`repro.shard.sharded` — :class:`ShardedGTS`, the coordinating index
+  with makespan-honest time accounting and the same ``execute_batch``
+  contract as :class:`~repro.core.GTS` (so the serving layer runs unchanged);
+* :mod:`repro.shard.experiment` — the strong/weak scale-out experiment
+  behind ``benchmarks/bench_sharding.py`` and
+  ``repro experiment sharding-scaleout``.
+
+See DESIGN.md §6 for the accounting model and the exactness argument.
+"""
+
+from .policy import (
+    ASSIGNMENT_POLICIES,
+    AssignmentPolicy,
+    RoundRobinPolicy,
+    SizeBalancedPolicy,
+    make_assignment_policy,
+)
+from .sharded import ShardedBuildReport, ShardedGTS
+
+#: Lazily loaded symbols that depend on :mod:`repro.evalsuite` (see
+#: :mod:`repro.service` for the same pattern).
+_LAZY = {
+    "experiment_sharding_scaleout": "experiment",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+__all__ = [
+    "ShardedGTS",
+    "ShardedBuildReport",
+    "AssignmentPolicy",
+    "RoundRobinPolicy",
+    "SizeBalancedPolicy",
+    "ASSIGNMENT_POLICIES",
+    "make_assignment_policy",
+    "experiment_sharding_scaleout",
+]

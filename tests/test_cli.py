@@ -157,3 +157,22 @@ class TestServeSimCommand:
     def test_rejects_unknown_policy(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve-sim", "--policy", "fifo"])
+
+    def test_serves_sharded_index_and_verifies(self, capsys):
+        code = main([
+            "serve-sim", "--dataset", "tloc", "--cardinality", "600",
+            "--clients", "3", "--rate", "60000", "--duration", "0.001",
+            "--shards", "3", "--max-batch", "16", "--verify",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 shards (round-robin)" in out
+        assert "identical to sequential replay" in out
+
+    def test_rejects_non_positive_shards(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-sim", "--shards", "0"])
+
+    def test_rejects_unknown_shard_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-sim", "--shard-policy", "hash-ring"])

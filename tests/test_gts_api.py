@@ -227,3 +227,92 @@ class TestBatchUpdatesAndRebuild:
         for _ in range(3):
             index.rebuild()
         assert device.used_bytes == pytest.approx(used_after_build, rel=0.05)
+
+
+class TestUpdateAccounting:
+    """Failed updates must not advance the simulated clock (PR 2 fixes)."""
+
+    def test_failed_delete_is_stats_neutral(self, index):
+        before = index.device.stats.copy()
+        with pytest.raises(UpdateError):
+            index.delete(10_000)
+        with pytest.raises(UpdateError):
+            index.delete(-3)
+        after = index.device.stats
+        assert after.sim_time == before.sim_time
+        assert after.kernel_launches == before.kernel_launches
+        assert after.total_ops == before.total_ops
+
+    def test_double_delete_is_stats_neutral(self, index):
+        index.delete(4)
+        before = index.device.stats.copy()
+        with pytest.raises(UpdateError):
+            index.delete(4)
+        after = index.device.stats
+        assert after.sim_time == before.sim_time
+        assert after.kernel_launches == before.kernel_launches
+
+    def test_successful_delete_still_charges_one_kernel(self, index):
+        before = index.device.stats.copy()
+        index.delete(4)
+        after = index.device.stats
+        assert after.kernel_launches == before.kernel_launches + 1
+        assert after.sim_time > before.sim_time
+
+    def test_batch_update_rejects_tombstoned_ids(self, index):
+        index.delete(6)
+        with pytest.raises(UpdateError):
+            index.batch_update(deletes=[6])
+        # a mixed batch with one bad id is rejected atomically
+        before_rebuilds = index.rebuild_count
+        with pytest.raises(UpdateError):
+            index.batch_update(deletes=[7, 6])
+        assert index.rebuild_count == before_rebuilds
+        assert index.is_live(7)
+
+    def test_get_object_covers_cached_and_tombstoned_ids(self, index, points_2d):
+        new_id = index.insert(np.array([321.0, -321.0]))
+        np.testing.assert_array_equal(index.get_object(new_id), [321.0, -321.0])
+        index.delete(8)
+        # tombstoned objects stay addressable until a rebuild drops them
+        np.testing.assert_array_equal(index.get_object(8), points_2d[8])
+        with pytest.raises(IndexError_):
+            index.get_object(10_000_000)
+
+
+class TestQueryParamValidation:
+    """Malformed radii/k raise QueryError on every path (PR 2 fixes)."""
+
+    def test_wrong_length_radii_rejected(self, index, points_2d):
+        queries = [points_2d[0], points_2d[1], points_2d[2]]
+        with pytest.raises(QueryError, match="radii"):
+            index.range_query_batch(queries, [0.5, 0.5])
+        with pytest.raises(QueryError, match=r"\(3,\)"):
+            index.range_query_batch(queries, [0.5] * 4)
+
+    def test_wrong_length_radii_rejected_with_cached_entries(self, index, points_2d):
+        # the cache-empty fast path used to be the only validated one
+        index.insert(np.array([5.0, 5.0]))
+        assert index.cache_size > 0
+        with pytest.raises(QueryError, match="radii"):
+            index.range_query_batch([points_2d[0], points_2d[1]], [0.5, 0.5, 0.5])
+
+    def test_non_numeric_radii_rejected(self, index, points_2d):
+        with pytest.raises(QueryError, match="radii"):
+            index.range_query_batch([points_2d[0]], "wide")
+
+    def test_wrong_length_k_rejected(self, index, points_2d):
+        queries = [points_2d[0], points_2d[1], points_2d[2]]
+        with pytest.raises(QueryError, match="k must"):
+            index.knn_query_batch(queries, [3, 3])
+
+    def test_non_numeric_k_rejected(self, index, points_2d):
+        with pytest.raises(QueryError, match="k must"):
+            index.knn_query_batch([points_2d[0]], "five")
+
+    def test_scalar_and_per_query_params_still_accepted(self, index, points_2d):
+        queries = [points_2d[0], points_2d[1]]
+        assert len(index.range_query_batch(queries, 0.5)) == 2
+        assert len(index.range_query_batch(queries, [0.5, 0.7])) == 2
+        assert len(index.knn_query_batch(queries, 3)) == 2
+        assert len(index.knn_query_batch(queries, [3, 5])) == 2

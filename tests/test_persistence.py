@@ -89,6 +89,57 @@ class TestRoundTrip:
         assert GTS.load(path).num_objects == vector_index.num_objects
 
 
+class TestSeedRoundTrip:
+    def test_seed_survives_save_load(self, points_2d, tmp_path):
+        index = GTS.build(points_2d, EuclideanDistance(), node_capacity=8, seed=23)
+        loaded = GTS.load(index.save(tmp_path / "index.npz"))
+        assert loaded.seed == 23
+
+    def test_post_load_rebuild_matches_never_saved_index(self, points_2d, tmp_path):
+        """save -> load -> insert-to-overflow builds the identical tree.
+
+        The construction RNG is consumed by every build, so this only holds
+        when the archive round-trips the generator *state*, not just the
+        seed.
+        """
+        index = GTS.build(
+            points_2d, EuclideanDistance(), node_capacity=8, seed=23,
+            cache_capacity_bytes=64,
+        )
+        loaded = GTS.load(index.save(tmp_path / "index.npz"))
+        rng = np.random.default_rng(99)
+        while index.rebuild_count == 0:
+            obj = rng.normal(size=2)
+            index.insert(obj)
+            loaded.insert(obj)
+        assert loaded.rebuild_count == index.rebuild_count == 1
+        np.testing.assert_array_equal(loaded.tree.pivot, index.tree.pivot)
+        np.testing.assert_array_equal(loaded.tree.obj_ids, index.tree.obj_ids)
+        np.testing.assert_allclose(loaded.tree.obj_dis, index.tree.obj_dis)
+        query = points_2d[0] + 0.01
+        assert loaded.knn_query(query, 5) == index.knn_query(query, 5)
+
+    def test_version_1_archives_still_load(self, vector_index, tmp_path):
+        """A pre-seed archive loads fine and falls back to the default seed."""
+        path = vector_index.save(tmp_path / "index.npz")
+        with np.load(path, allow_pickle=True) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        import json
+
+        meta = json.loads(bytes(arrays["meta"]).decode("utf-8"))
+        meta["format_version"] = 1
+        del meta["seed"]
+        del meta["rng_state"]
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        v1 = tmp_path / "v1.npz"
+        with open(v1, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        loaded = load_index(v1)
+        assert loaded.seed == 17
+        query = np.asarray(loaded.get_object(0)) + 0.01
+        assert loaded.knn_query(query, 3) == vector_index.knn_query(query, 3)
+
+
 class TestDeviceAccounting:
     def test_loaded_index_occupies_device_memory(self, vector_index, tmp_path):
         path = vector_index.save(tmp_path / "index.npz")
