@@ -1,16 +1,21 @@
 # Convenience targets for the GTS reproduction.
 #
 #   make test         tier-1 test suite (the gate every PR must keep green)
-#   make bench-smoke  fast benchmark smoke run (reduced scale, 2 quick figures)
+#   make bench-smoke  fast benchmark smoke run (reduced scale, quick figures)
 #   make bench        full benchmark harness (all paper figures/tables)
 #   make lint         byte-compile every source tree (no linter is vendored)
 #   make example      run the quickstart end to end
+#   make examples     run every example script (the CI smoke job)
+#
+# bench/bench-smoke write machine-readable result manifests (BENCH_full.json /
+# BENCH_smoke.json: config snapshot + per-experiment rows) next to this file,
+# so the perf trajectory is trackable across PRs; see benchmarks/README.md.
 
 PYTHON      ?= python
 PYTHONPATH  := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test bench-smoke bench lint example
+.PHONY: test bench-smoke bench lint example examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,18 +23,19 @@ test:
 # The smoke run keeps the default (calibrated) scale and picks the fast
 # files; the benchmark shape assertions are not tuned for very small scales.
 bench-smoke:
-	$(PYTHON) -m pytest -q \
+	REPRO_BENCH_MANIFEST=BENCH_smoke.json $(PYTHON) -m pytest -q \
 		benchmarks/bench_ablations.py \
 		benchmarks/bench_approx.py \
 		benchmarks/bench_fig8_gpu_memory.py \
 		benchmarks/bench_fig10_identical.py \
 		benchmarks/bench_service_throughput.py \
-		benchmarks/bench_sharding.py
+		benchmarks/bench_sharding.py \
+		benchmarks/bench_memory_tiering.py
 
 # bench_*.py does not match pytest's default test-file pattern, so the files
 # must be named explicitly (a bare `pytest benchmarks` collects nothing).
 bench:
-	$(PYTHON) -m pytest -q benchmarks/bench_*.py
+	REPRO_BENCH_MANIFEST=BENCH_full.json $(PYTHON) -m pytest -q benchmarks/bench_*.py
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
@@ -37,3 +43,9 @@ lint:
 
 example:
 	$(PYTHON) examples/quickstart.py
+
+examples:
+	@set -e; for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script; \
+	done

@@ -9,11 +9,21 @@ pytest-benchmark's ``extra_info`` and asserts on the qualitative *shape*
 The experiments measure **simulated device time**; pytest-benchmark's own
 wall-clock statistics only describe how long the simulation takes to run, so
 every benchmark executes exactly one round.
+
+Result manifests.  When ``REPRO_BENCH_MANIFEST`` names a file (the Makefile
+sets ``BENCH_smoke.json`` / ``BENCH_full.json``), the session writes a
+machine-readable JSON manifest there — a config snapshot plus every
+experiment's rows — so the perf trajectory is trackable across PRs without
+scraping stdout tables.
 """
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
+import platform
+import sys
 
 import pytest
 
@@ -24,18 +34,53 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
 #: Number of queries per batch used by the query benchmarks.
 BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "48"))
 
+#: Manifest path; empty disables manifest writing.
+BENCH_MANIFEST = os.environ.get("REPRO_BENCH_MANIFEST", "")
+
+#: Experiment rows collected by :func:`attach` during this session.
+_COLLECTED: list[dict] = []
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
 
 
+def _jsonable(value):
+    """Coerce NumPy scalars/arrays and other oddballs into JSON-safe values."""
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        # unwrap NumPy scalars first so the non-finite guard below still
+        # applies to them (json.dump would otherwise emit Infinity/NaN)
+        try:
+            value = value.item()
+        except (ValueError, AttributeError):
+            pass
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, float) and (value != value or value in (float("inf"), float("-inf"))):
+        return repr(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _clean_row(row: dict) -> dict:
+    return {k: _jsonable(v) for k, v in row.items() if k != "payload"}
+
+
 def attach(benchmark, result) -> None:
     """Attach an ExperimentResult's rows to the benchmark report and print them."""
+    rows = [_clean_row(row) for row in result.rows]
     benchmark.extra_info["experiment"] = result.experiment
-    benchmark.extra_info["rows"] = [
-        {k: v for k, v in row.items() if k != "payload"} for row in result.rows
-    ]
+    benchmark.extra_info["rows"] = rows
+    _COLLECTED.append(
+        {
+            "experiment": result.experiment,
+            "title": result.title,
+            "benchmark": benchmark.name,
+            "rows": rows,
+        }
+    )
     print()
     print(result.to_text())
 
@@ -43,6 +88,32 @@ def attach(benchmark, result) -> None:
 def ok_rows(result, **criteria):
     """Rows of the experiment that completed successfully and match the criteria."""
     return [row for row in result.filter(**criteria) if row.get("status") == "ok"]
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the machine-readable BENCH_*.json manifest, when configured."""
+    if not BENCH_MANIFEST or not _COLLECTED:
+        return
+    import numpy
+
+    manifest = {
+        "schema": "repro-bench-manifest/1",
+        "created_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "exit_status": int(exitstatus),
+        "config": {
+            "bench_scale": BENCH_SCALE,
+            "bench_queries": BENCH_QUERIES,
+            "python": sys.version.split()[0],
+            "numpy": numpy.__version__,
+            "platform": platform.platform(),
+        },
+        "experiments": _COLLECTED,
+    }
+    with open(BENCH_MANIFEST, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote benchmark manifest: {BENCH_MANIFEST} "
+          f"({len(_COLLECTED)} experiment result sets)")
 
 
 @pytest.fixture

@@ -16,7 +16,10 @@ in the SIGMOD 2024 paper, on top of a simulated GPU substrate:
 * :mod:`repro.service` — the concurrent query-serving layer (micro-batching
   scheduler, open-loop client workloads, latency reports);
 * :mod:`repro.shard` — the multi-device sharded index (scatter-gather
-  scale-out across several simulated GPUs).
+  scale-out across several simulated GPUs);
+* :mod:`repro.tier` — the out-of-core tiered memory subsystem (host-resident
+  blocked object store + device-pool demand pager), for datasets larger
+  than device memory.
 
 Quickstart::
 
@@ -47,8 +50,10 @@ from .exceptions import (
     UnsupportedMetricError,
     UpdateError,
 )
+from .exceptions import MemoryLeakError, TierError
 from .gpusim import CPUExecutor, CPUSpec, Device, DeviceSpec
 from .shard import ShardedGTS, make_assignment_policy
+from .tier import BlockPager, TierConfig, TieredObjectStore, make_eviction_policy
 from .service import (
     DeadlineAwarePolicy,
     GreedyBatchPolicy,
@@ -75,6 +80,10 @@ __all__ = [
     "MultiColumnGTS",
     "ShardedGTS",
     "make_assignment_policy",
+    "TierConfig",
+    "TieredObjectStore",
+    "BlockPager",
+    "make_eviction_policy",
     "ApproximateGTS",
     "LearnedLeafRouter",
     "PruneMode",
@@ -102,6 +111,8 @@ __all__ = [
     "DeviceMemoryError",
     "HostMemoryError",
     "MemoryDeadlockError",
+    "MemoryLeakError",
+    "TierError",
     "KernelError",
     "IndexError_",
     "ConstructionError",

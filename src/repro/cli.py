@@ -53,6 +53,8 @@ from .service import experiment as _service_experiment
 from .service.scheduler import POLICY_REGISTRY, make_policy
 from .shard import ASSIGNMENT_POLICIES, ShardedGTS
 from .shard import experiment as _shard_experiment
+from .tier import EVICTION_POLICIES, TierConfig
+from .tier import experiment as _tier_experiment
 
 __all__ = ["main", "build_parser", "EXPERIMENT_REGISTRY"]
 
@@ -74,6 +76,7 @@ EXPERIMENT_REGISTRY = {
     "approx-tradeoff": _extensions.experiment_approximate_tradeoff,
     "service-batching": _service_experiment.experiment_service_batching,
     "sharding-scaleout": _shard_experiment.experiment_sharding_scaleout,
+    "memory-tiering": _tier_experiment.experiment_memory_tiering,
 }
 
 
@@ -141,6 +144,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--shard-policy", choices=sorted(ASSIGNMENT_POLICIES), default="round-robin",
         help="shard-assignment policy when --shards > 1 (default round-robin)",
+    )
+    p_serve.add_argument(
+        "--device-memory", type=float, default=None, metavar="MB",
+        help="serve out-of-core: cap the device-resident object pool at this many "
+        "MB and page blocks from host memory on demand (default: fully resident)",
+    )
+    p_serve.add_argument(
+        "--eviction", choices=sorted(EVICTION_POLICIES), default="lru",
+        help="block-pager eviction policy when --device-memory is set (default lru)",
+    )
+    p_serve.add_argument(
+        "--block-kb", type=float, default=16.0,
+        help="object-block size in KB for the tiered pool (default 16)",
+    )
+    p_serve.add_argument(
+        "--prefetch", action="store_true",
+        help="coalesce block faults via candidate-list lookahead prefetch",
     )
     p_serve.add_argument("--clients", type=int, default=6, help="number of simulated clients (default 6)")
     p_serve.add_argument(
@@ -302,6 +322,18 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     print(f"dataset    : {dataset.name} ({num_indexed} indexed, "
           f"{dataset.cardinality - num_indexed} held out for inserts)")
 
+    tier = None
+    if args.device_memory is not None:
+        tier = TierConfig(
+            memory_budget_bytes=max(1, int(args.device_memory * MiB)),
+            block_bytes=max(1, int(args.block_kb * 1024)),
+            eviction=args.eviction,
+            prefetch=args.prefetch,
+        )
+        print(f"tiering    : {args.device_memory} MB device pool, "
+              f"{args.eviction} eviction, blocks {args.block_kb} KB"
+              f"{', prefetch' if args.prefetch else ''}")
+
     if args.shards > 1:
         index = ShardedGTS.build(
             dataset.objects[:num_indexed],
@@ -310,6 +342,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             assignment=args.shard_policy,
             node_capacity=args.node_capacity,
             seed=args.seed,
+            tier=tier,
         )
         print(f"index      : {args.shards} shards ({args.shard_policy}), "
               f"sizes {index.shard_sizes}")
@@ -319,6 +352,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             dataset.metric,
             node_capacity=args.node_capacity,
             seed=args.seed,
+            tier=tier,
         )
     spec = WorkloadSpec(
         num_clients=args.clients,
@@ -336,11 +370,29 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
 
     policy_kwargs = {"max_batch_size": args.max_batch, "max_wait": args.max_wait}
     service = GTSService(index, policy=make_policy(args.policy, **policy_kwargs))
+    if tier is not None:
+        # report steady-state serving traffic, not the build's streaming pass
+        for shard in index.shards if args.shards > 1 else [index]:
+            shard.pager.stats.reset()
+        serve_snapshot = index.device.snapshot()
     responses = service.serve(workload.requests)
     report = summarize(responses, service.batches)
     print(f"policy     : {args.policy} (max batch {args.max_batch}, "
           f"max wait {args.max_wait * 1e6:.0f} us)")
     print(report.to_text(title=f"{args.policy} policy on {dataset.name}"))
+
+    if tier is not None:
+        if args.shards > 1:
+            pager = index.pager_stats()
+        else:
+            pager = index.pager.stats.as_dict()
+        delta = index.device.stats.delta_since(serve_snapshot)
+        print(f"pager      : hit rate {pager['hit_rate']:.3f} "
+              f"({pager['hits']} hits / {pager['misses']} misses, "
+              f"{pager['evictions']} evictions) while serving")
+        print(f"transfers  : h2d {delta.transfer_seconds.get('pager-h2d', 0.0) * 1e3:.3f} ms, "
+              f"d2h {delta.transfer_seconds.get('pager-d2h', 0.0) * 1e3:.3f} ms (paging), "
+              f"{delta.transfer_seconds.get('results-d2h', 0.0) * 1e3:.3f} ms (results)")
 
     if args.verify:
         oracle = GTS.build(

@@ -247,8 +247,10 @@ def build_tree(
     allocations: list[Allocation] = []
     if allocate_storage:
         device.transfer_to_device(objects_nbytes(objects, object_ids))
-        allocations.append(device.allocate(objects_nbytes(objects, object_ids), "gts-objects"))
-        allocations.append(device.allocate(tree.storage_bytes(), "gts-index"))
+        allocations.append(
+            device.allocate(objects_nbytes(objects, object_ids), "gts-objects", pool="objects")
+        )
+        allocations.append(device.allocate(tree.storage_bytes(), "gts-index", pool="tree"))
 
     for layer in range(tree.height):
         start = level_start(layer, node_capacity)

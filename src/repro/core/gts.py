@@ -38,6 +38,7 @@ from ..exceptions import IndexError_, QueryError, UpdateError
 from ..gpusim.device import Device
 from ..gpusim.specs import DeviceSpec
 from ..metrics.base import Metric
+from ..tier.config import TierConfig
 from .cache_table import CacheTable
 from .construction import BuildResult, build_tree
 from .cost_model import (
@@ -119,6 +120,17 @@ class GTS:
         ``"two-sided"`` (default) or ``"one-sided"`` pruning (ablation).
     seed:
         Seed of the construction RNG (root pivot choice), for reproducibility.
+    memory_budget_bytes:
+        When given, the index runs in **tiered mode** (DESIGN.md §7): the
+        object store stays in simulated host memory, split into blocks, and
+        a :class:`~repro.tier.BlockPager` stages blocks into a device pool
+        of at most this many bytes on demand.  Query/update answers are
+        identical to the fully-resident index; only the charged transfer
+        time (and the device-memory footprint) changes.
+    tier:
+        Full :class:`~repro.tier.TierConfig` (block size, eviction policy,
+        prefetch) for tiered mode; ``memory_budget_bytes``, when also
+        given, overrides the config's budget.
     """
 
     def __init__(
@@ -130,6 +142,8 @@ class GTS:
         pivot_strategy: str = "fft",
         prune_mode: str = "two-sided",
         seed: int = 17,
+        memory_budget_bytes: Optional[int] = None,
+        tier: Optional[TierConfig] = None,
     ):
         if node_capacity < 2:
             raise IndexError_(f"node capacity must be at least 2, got {node_capacity}")
@@ -140,6 +154,12 @@ class GTS:
         self.prune_mode = PruneMode.from_name(prune_mode)
         self.seed = int(seed)
         self._rng = np.random.default_rng(self.seed)
+        if tier is not None and memory_budget_bytes is not None:
+            tier = tier.with_budget(memory_budget_bytes)
+        elif tier is None and memory_budget_bytes is not None:
+            tier = TierConfig(memory_budget_bytes=int(memory_budget_bytes))
+        self.tier_config: Optional[TierConfig] = tier
+        self._pager = None
 
         self._objects: list = []
         self._indexed_ids = np.zeros(0, dtype=np.int64)
@@ -162,6 +182,8 @@ class GTS:
         pivot_strategy: str = "fft",
         prune_mode: str = "two-sided",
         seed: int = 17,
+        memory_budget_bytes: Optional[int] = None,
+        tier: Optional[TierConfig] = None,
     ) -> "GTS":
         """Build a GTS index over ``objects`` and return it."""
         index = cls(
@@ -172,6 +194,8 @@ class GTS:
             pivot_strategy=pivot_strategy,
             prune_mode=prune_mode,
             seed=seed,
+            memory_budget_bytes=memory_budget_bytes,
+            tier=tier,
         )
         index.bulk_load(objects)
         return index
@@ -189,11 +213,37 @@ class GTS:
         if len(objects) == 0:
             raise IndexError_("cannot bulk load an empty object collection")
         self._release_index()
+        if self._pager is not None:
+            self._pager.release()
+            self._pager = None
         self._objects = [objects[i] for i in range(len(objects))]
+        if self.tier_config is not None:
+            self._init_tier()
         self._tombstones = set()
         self._cache.clear()
         self._indexed_ids = np.arange(len(self._objects), dtype=np.int64)
         return self._build()
+
+    def _init_tier(self) -> None:
+        """Wrap the host object list behind the block store + demand pager."""
+        from ..exceptions import TierError
+        from ..tier.pager import BlockPager
+        from ..tier.store import PagedObjects, TieredObjectStore
+
+        store = TieredObjectStore(self._objects, self.tier_config.block_bytes)
+        # Blocks are sized by the *average* payload, so variable-length data
+        # (strings) can produce blocks larger than block_bytes; validate the
+        # real maximum up front instead of surprising a query mid-descent.
+        max_block = max(store.block_nbytes(b) for b in range(store.num_blocks))
+        if max_block > self.tier_config.memory_budget_bytes:
+            raise TierError(
+                f"tier memory budget ({self.tier_config.memory_budget_bytes} B) "
+                f"cannot hold the largest object block ({max_block} B; average-"
+                f"sized blocks target {self.tier_config.block_bytes} B); raise "
+                "memory_budget_bytes or shrink block_bytes"
+            )
+        self._pager = BlockPager(self.device, store, self.tier_config)
+        self._objects = PagedObjects(store, self._pager)
 
     def _build(self) -> BuildResult:
         """Build the tree over the currently indexed ids."""
@@ -205,7 +255,18 @@ class GTS:
             self.device,
             rng=self._rng,
             pivot_strategy=self.pivot_strategy,
+            # Tiered mode never materialises the full object store on the
+            # device: construction faults blocks through the pager instead,
+            # and only the tree storage is allocated (pinned) below.
+            allocate_storage=self.tier_config is None,
         )
+        if self.tier_config is not None:
+            result.allocations.append(
+                self.device.allocate(result.tree.storage_bytes(), "gts-index", pool="tree")
+            )
+            self._pager.set_pins(
+                self._objects.store.blocks_for(result.tree.pivot[result.tree.pivot >= 0])
+            )
         self._tree = result.tree
         self._build_result = result
         self._allocations = result.allocations
@@ -221,6 +282,8 @@ class GTS:
     def close(self) -> None:
         """Free every device allocation held by the index."""
         self._release_index()
+        if self._pager is not None:
+            self._pager.release()
         self._cache.release()
 
     # ------------------------------------------------------------ properties
@@ -268,6 +331,16 @@ class GTS:
         return self._rebuild_count
 
     @property
+    def tiered(self) -> bool:
+        """True when the index pages its object store (tiered mode)."""
+        return self.tier_config is not None
+
+    @property
+    def pager(self):
+        """The :class:`~repro.tier.BlockPager` of a tiered index (else None)."""
+        return self._pager
+
+    @property
     def storage_bytes(self) -> int:
         """Bytes of index storage (node list + table list)."""
         self._require_built()
@@ -280,13 +353,18 @@ class GTS:
         return self._build_result
 
     def get_object(self, obj_id: int):
-        """Return the object registered under ``obj_id``."""
+        """Return the object registered under ``obj_id``.
+
+        A host-side read: in tiered mode the primary copy lives in host
+        memory, so this never faults a block onto the device.
+        """
         obj_id = int(obj_id)
         cached = self._cache.get(obj_id, _MISSING)
         if cached is not _MISSING:
             return cached
-        if 0 <= obj_id < len(self._objects):
-            return self._objects[obj_id]
+        objects = getattr(self._objects, "raw", self._objects)
+        if 0 <= obj_id < len(objects):
+            return objects[obj_id]
         raise IndexError_(f"unknown object id {obj_id}")
 
     def is_live(self, obj_id: int) -> bool:
@@ -597,8 +675,12 @@ class GTS:
 
     # ------------------------------------------------------------ cost model
     def distance_distribution(self, sample_size: int = 128) -> DistanceDistribution:
-        """Estimate the dataset's pairwise-distance distribution (for tuning)."""
-        live = [self._objects[int(i)] for i in self._indexed_ids if int(i) not in self._tombstones]
+        """Estimate the dataset's pairwise-distance distribution (for tuning).
+
+        Host-side sampling — reads the host copy of the store, no faulting.
+        """
+        objects = getattr(self._objects, "raw", self._objects)
+        live = [objects[int(i)] for i in self._indexed_ids if int(i) not in self._tombstones]
         return estimate_distance_distribution(live, self.metric, sample_size=sample_size, rng=self._rng)
 
     def recommend_node_capacity(

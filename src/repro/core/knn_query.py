@@ -103,6 +103,11 @@ def _verify_leaves(
     """Verify every object of the surviving leaves against its query."""
     if len(leaf_q) == 0:
         return
+    # Lookahead for tiered stores (see range_query._verify_leaves).
+    if getattr(objects, "prefetch_enabled", False):
+        objects.prefetch_ids(
+            np.concatenate([tree.node_objects(int(n)) for n in np.unique(leaf_node)])
+        )
     order = np.argsort(leaf_q, kind="stable")
     sorted_q = leaf_q[order]
     unique_queries, starts = np.unique(sorted_q, return_index=True)
@@ -116,6 +121,9 @@ def _verify_leaves(
             obj_ids = obj_ids[~np.isin(obj_ids, list(exclude))]
         if len(obj_ids) == 0:
             continue
+        # sorted gather: order-insensitive (candidates land in a dict pool)
+        # and block-coalesced for tiered stores (see range_query)
+        obj_ids = np.sort(obj_ids)
         candidates = take_objects(objects, obj_ids)
         dists = metric.pairwise(queries[int(query_index)], candidates)
         total_verified += len(obj_ids)
@@ -131,8 +139,8 @@ def _verify_leaves(
         answers = int(sum(pools._k[int(q)] for q in unique_queries))
         needed = max(answers, 1) * RESULT_BYTES
         buffer_bytes = min(needed, max(RESULT_BYTES, device.available_bytes))
-        alloc = device.allocate(buffer_bytes, "mknn-results")
-        device.transfer_to_host(needed)
+        alloc = device.allocate(buffer_bytes, "mknn-results", pool="workspace")
+        device.transfer_to_host(needed, label="results-d2h")
         device.free(alloc)
 
 

@@ -43,12 +43,14 @@ __all__ = ["save_index", "load_index", "INDEX_FORMAT_VERSION"]
 
 #: Version stamp written into every archive; bumped on incompatible changes.
 #: Version 2 added the construction ``seed`` and RNG state to the meta block;
-#: version-1 archives are still read (their indexes fall back to the default
-#: seed, version 1's behaviour).
-INDEX_FORMAT_VERSION = 2
+#: version 3 added the tiered-memory config (``tier``) so an out-of-core
+#: index reloads in the same mode it was saved in.  Versions 1 and 2 are
+#: still read (their indexes load fully resident with default/seed
+#: fallbacks, the old behaviour).
+INDEX_FORMAT_VERSION = 3
 
 #: Archive versions :func:`load_index` understands.
-_READABLE_FORMAT_VERSIONS = (1, 2)
+_READABLE_FORMAT_VERSIONS = (1, 2, 3)
 
 #: Maps metric instance names to metric-registry keys for round-tripping.
 _METRIC_NAME_TO_KEY = {
@@ -80,6 +82,9 @@ def save_index(index, path) -> Path:
     path = Path(path)
     tree = index.tree
     cache_items = list(index._cache.items())
+    # host-side view of the object store (a tiered index wraps it in a
+    # PagedObjects facade; serialisation must not fault device blocks)
+    host_objects = getattr(index._objects, "raw", index._objects)
     meta = {
         "format_version": INDEX_FORMAT_VERSION,
         "metric_name": index.metric.name,
@@ -96,7 +101,8 @@ def save_index(index, path) -> Path:
         "height": tree.height,
         "num_objects": tree.num_objects,
         "rebuild_count": index.rebuild_count,
-        "objects_kind": _objects_kind(index._objects),
+        "objects_kind": _objects_kind(host_objects),
+        "tier": index.tier_config.as_dict() if index.tier_config is not None else None,
     }
     arrays = {
         "meta": np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
@@ -111,13 +117,12 @@ def save_index(index, path) -> Path:
         "tombstones": np.asarray(sorted(index._tombstones), dtype=np.int64),
         "cache_ids": np.asarray([oid for oid, _ in cache_items], dtype=np.int64),
     }
-    objects = index._objects
     if meta["objects_kind"] == "array":
-        arrays["objects_array"] = np.stack([np.asarray(o) for o in objects])
+        arrays["objects_array"] = np.stack([np.asarray(o) for o in host_objects])
     else:
         # the trailing None stops NumPy from stacking uniform rows into a 2-d
         # array, keeping one object per slot for arbitrary (string, ...) data
-        arrays["objects_pickled"] = np.asarray(list(objects) + [None], dtype=object)
+        arrays["objects_pickled"] = np.asarray(list(host_objects) + [None], dtype=object)
     with open(path, "wb") as handle:
         np.savez_compressed(handle, **arrays)
     return path
@@ -188,6 +193,9 @@ def load_index(path, metric: Optional[Metric] = None, device: Optional[Device] =
         tombstones = set(int(i) for i in archive["tombstones"])
         cache_ids = [int(i) for i in archive["cache_ids"]]
 
+    from ..tier.config import TierConfig
+
+    tier_meta = meta.get("tier")
     index = GTS(
         metric=metric,
         node_capacity=int(meta["node_capacity"]),
@@ -196,21 +204,30 @@ def load_index(path, metric: Optional[Metric] = None, device: Optional[Device] =
         pivot_strategy=meta["pivot_strategy"],
         prune_mode=meta["prune_mode"],
         seed=int(meta.get("seed", 17)),
+        tier=TierConfig.from_dict(tier_meta) if tier_meta else None,
     )
     if meta.get("rng_state") is not None:
         index._rng.bit_generator.state = meta["rng_state"]
     index._objects = objects
+    if index.tier_config is not None:
+        index._init_tier()
     index._indexed_ids = indexed_ids
     index._tombstones = tombstones
     index._rebuild_count = int(meta.get("rebuild_count", 0))
 
     # register the index storage on the device, as a fresh build would
-    allocation = index.device.allocate(tree.storage_bytes(), "gts-index-loaded")
+    allocation = index.device.allocate(tree.storage_bytes(), "gts-index-loaded", pool="tree")
     index.device.transfer_to_device(tree.storage_bytes())
     index._allocations = [allocation]
     index._tree = tree
     index._build_result = BuildResult(tree=tree, allocations=index._allocations)
+    if index._pager is not None:
+        index._pager.set_pins(
+            index._objects.store.blocks_for(tree.pivot[tree.pivot >= 0])
+        )
 
+    # host-side read: repopulating the cache must not fault tiered blocks
+    host_objects = getattr(index._objects, "raw", index._objects)
     for obj_id in cache_ids:
-        index._cache.insert(obj_id, index._objects[obj_id])
+        index._cache.insert(obj_id, host_objects[obj_id])
     return index

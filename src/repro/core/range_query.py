@@ -61,6 +61,13 @@ def _verify_leaves(
     """Compute real distances for every object in the surviving leaves."""
     if len(leaf_q) == 0:
         return
+    # Lookahead for tiered stores: the surviving leaves are the first stage's
+    # candidate list, so their object blocks can be staged in one coalesced
+    # prefetch before verification touches them one by one.
+    if getattr(objects, "prefetch_enabled", False):
+        objects.prefetch_ids(
+            np.concatenate([tree.node_objects(int(n)) for n in np.unique(leaf_node)])
+        )
     order = np.argsort(leaf_q, kind="stable")
     sorted_q = leaf_q[order]
     unique_queries, starts = np.unique(sorted_q, return_index=True)
@@ -75,6 +82,10 @@ def _verify_leaves(
             obj_ids = obj_ids[~np.isin(obj_ids, list(exclude))]
         if len(obj_ids) == 0:
             continue
+        # gather in id order: results are order-insensitive (keyed by id) and
+        # a sorted gather is block-coalesced, which is what a tiered store's
+        # paging behaviour should be measured against
+        obj_ids = np.sort(obj_ids)
         candidates = take_objects(objects, obj_ids)
         dists = metric.pairwise(queries[int(query_index)], candidates)
         total_verified += len(obj_ids)
@@ -96,8 +107,8 @@ def _verify_leaves(
     # that is still available on the device
     if total_hits:
         buffer_bytes = min(total_hits * RESULT_BYTES, max(RESULT_BYTES, device.available_bytes))
-        alloc = device.allocate(buffer_bytes, "mrq-results")
-        device.transfer_to_host(total_hits * RESULT_BYTES)
+        alloc = device.allocate(buffer_bytes, "mrq-results", pool="workspace")
+        device.transfer_to_host(total_hits * RESULT_BYTES, label="results-d2h")
         device.free(alloc)
 
 

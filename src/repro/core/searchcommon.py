@@ -162,6 +162,10 @@ def pivot_distances_per_query(
     out = np.empty(len(cand_query), dtype=np.float64)
     if len(cand_query) == 0:
         return out
+    # Tiered stores: stage the level's pivot blocks in one coalesced prefetch
+    # before the per-query grouping touches them.
+    if getattr(objects, "prefetch_enabled", False):
+        objects.prefetch_ids(pivot_ids)
     order = np.argsort(cand_query, kind="stable")
     sorted_q = cand_query[order]
     unique_queries, starts = np.unique(sorted_q, return_index=True)
@@ -244,7 +248,7 @@ class IntermediateTable:
     def __init__(self, device: Device, entries: int, label: str = "intermediate"):
         self._device = device
         try:
-            self._allocation = device.allocate(int(entries) * ENTRY_BYTES, label)
+            self._allocation = device.allocate(int(entries) * ENTRY_BYTES, label, pool="workspace")
         except Exception as exc:  # DeviceMemoryError
             raise MemoryDeadlockError(
                 f"cannot allocate intermediate table of {entries} entries: {exc}"

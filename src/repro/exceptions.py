@@ -47,6 +47,23 @@ class KernelError(DeviceError):
     """A simulated kernel was launched with inconsistent arguments."""
 
 
+class MemoryLeakError(DeviceError):
+    """A code path exited while simulated device allocations were still live.
+
+    Raised by :meth:`~repro.gpusim.device.Device.assert_no_leaks` /
+    :meth:`~repro.gpusim.device.Device.leak_guard`; the test suite uses it to
+    catch index/pager code that forgets to free what it allocated.
+    """
+
+
+class TierError(DeviceError):
+    """The tiered-memory subsystem was misconfigured or cannot make progress.
+
+    Examples: a device-pool budget smaller than a single object block, or a
+    block size that cannot be satisfied by the object store.
+    """
+
+
 class IndexError_(ReproError):
     """The GTS index is in an invalid state or was queried before being built."""
 

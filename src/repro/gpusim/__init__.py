@@ -8,7 +8,7 @@ DESIGN.md §2 for why this substitution preserves the paper's measured shapes.
 """
 
 from .cpu import CPUExecutor
-from .device import Allocation, Device, DeviceArray
+from .device import DEFAULT_POOL, Allocation, Device, DeviceArray
 from .kernels import (
     distance_kernel,
     distance_matrix_kernel,
@@ -25,6 +25,7 @@ __all__ = [
     "Device",
     "DeviceArray",
     "Allocation",
+    "DEFAULT_POOL",
     "DeviceSpec",
     "CPUSpec",
     "CPUExecutor",

@@ -28,16 +28,20 @@ while still producing the relative performance shapes of the paper.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
 import numpy as np
 
-from ..exceptions import DeviceMemoryError, KernelError
+from ..exceptions import DeviceMemoryError, KernelError, MemoryLeakError
 from .specs import DeviceSpec
 from .stats import ExecutionStats
 
-__all__ = ["Device", "Allocation", "DeviceArray"]
+__all__ = ["Device", "Allocation", "DeviceArray", "DEFAULT_POOL"]
+
+#: Pool that unqualified allocations are charged to.
+DEFAULT_POOL = "main"
 
 
 @dataclass
@@ -48,6 +52,9 @@ class Allocation:
     nbytes: int
     label: str
     freed: bool = False
+    #: memory pool the allocation is accounted under (per-pool high-water
+    #: marks land in ``ExecutionStats.pool_peak_bytes``)
+    pool: str = DEFAULT_POOL
 
 
 class DeviceArray:
@@ -105,6 +112,7 @@ class Device:
         self._used_bytes = 0
         self._next_alloc_id = 0
         self._live: Dict[int, Allocation] = {}
+        self._pool_used: Dict[str, int] = {}
 
     # ------------------------------------------------------------ memory API
     @property
@@ -122,8 +130,14 @@ class Device:
         """Bytes still free for allocation."""
         return self.spec.memory_bytes - self._used_bytes
 
-    def allocate(self, nbytes: int, label: str = "buffer") -> Allocation:
+    def allocate(self, nbytes: int, label: str = "buffer", pool: str = DEFAULT_POOL) -> Allocation:
         """Reserve ``nbytes`` of device memory.
+
+        ``pool`` names the accounting pool the bytes are charged under —
+        pools share the device's physical capacity but keep independent
+        high-water marks in ``stats.pool_peak_bytes``, so multi-pool
+        workflows (tree storage vs. paged object blocks vs. per-query
+        workspace) can report what actually pinned memory.
 
         Raises :class:`DeviceMemoryError` when the request does not fit.
         """
@@ -133,11 +147,15 @@ class Device:
         if nbytes > self.available_bytes:
             raise DeviceMemoryError(nbytes, self.available_bytes, self.capacity_bytes)
         self._next_alloc_id += 1
-        alloc = Allocation(self._next_alloc_id, nbytes, label)
+        alloc = Allocation(self._next_alloc_id, nbytes, label, pool=pool)
         self._live[alloc.alloc_id] = alloc
         self._used_bytes += nbytes
+        self._pool_used[pool] = self._pool_used.get(pool, 0) + nbytes
         self.stats.allocations += 1
         self.stats.peak_memory_bytes = max(self.stats.peak_memory_bytes, self._used_bytes)
+        self.stats.pool_peak_bytes[pool] = max(
+            self.stats.pool_peak_bytes.get(pool, 0), self._pool_used[pool]
+        )
         return alloc
 
     def free(self, allocation: Allocation) -> None:
@@ -149,6 +167,7 @@ class Device:
             return
         allocation.freed = True
         self._used_bytes -= allocation.nbytes
+        self._pool_used[allocation.pool] = self._pool_used.get(allocation.pool, 0) - allocation.nbytes
         self.stats.frees += 1
 
     def free_all(self) -> None:
@@ -180,6 +199,48 @@ class Device:
     def live_allocations(self) -> list[Allocation]:
         """Return the currently live allocations (for diagnostics/tests)."""
         return list(self._live.values())
+
+    def pool_used_bytes(self, pool: str = DEFAULT_POOL) -> int:
+        """Bytes currently allocated under the named pool."""
+        return self._pool_used.get(pool, 0)
+
+    # ------------------------------------------------------------ leak guard
+    def assert_no_leaks(self, baseline: Optional[set] = None) -> None:
+        """Fail loudly when allocations are live that should have been freed.
+
+        With ``baseline`` omitted every live allocation counts as a leak;
+        passing a set of allocation ids (as :meth:`leak_guard` does) only
+        flags allocations created since the baseline was captured.  Raises
+        :class:`~repro.exceptions.MemoryLeakError` naming the leaked labels.
+        """
+        leaked = [
+            alloc
+            for alloc in self._live.values()
+            if baseline is None or alloc.alloc_id not in baseline
+        ]
+        if leaked:
+            summary = ", ".join(
+                f"{alloc.label}[{alloc.pool}]={alloc.nbytes}B" for alloc in leaked[:8]
+            )
+            if len(leaked) > 8:
+                summary += f", ... ({len(leaked) - 8} more)"
+            raise MemoryLeakError(
+                f"{len(leaked)} simulated allocation(s) leaked "
+                f"({sum(a.nbytes for a in leaked)} bytes): {summary}"
+            )
+
+    @contextmanager
+    def leak_guard(self) -> Iterator["Device"]:
+        """Context manager asserting the block frees everything it allocates.
+
+        Only allocations made *inside* the block are checked, so a guard can
+        wrap individual operations against a device that already holds an
+        index.  The check is skipped when the block raises, letting the
+        original error surface.
+        """
+        baseline = set(self._live)
+        yield self
+        self.assert_no_leaks(baseline=baseline)
 
     # ---------------------------------------------------------- timing model
     def parallel_steps_for(self, work_items: int) -> int:
@@ -247,20 +308,42 @@ class Device:
         self.stats.sim_time += elapsed
         return elapsed
 
-    def transfer_to_device(self, nbytes: int) -> float:
-        """Charge a host→device copy of ``nbytes``."""
+    def transfer_to_device(
+        self, nbytes: int, label: Optional[str] = None, latency: float = 0.0
+    ) -> float:
+        """Charge a host→device copy of ``nbytes``.
+
+        ``latency`` adds a fixed per-transaction cost (e.g. the PCIe fault
+        round-trip the block pager models); ``label`` attributes the elapsed
+        seconds under ``stats.transfer_seconds[label]`` so flows like pager
+        traffic stay distinguishable from bulk loads.
+        """
         nbytes = int(nbytes)
-        elapsed = nbytes / self.spec.transfer_bandwidth
+        if latency < 0:
+            raise KernelError(f"transfer latency must be non-negative, got {latency}")
+        elapsed = latency + nbytes / self.spec.transfer_bandwidth
         self.stats.bytes_to_device += nbytes
         self.stats.sim_time += elapsed
+        if label is not None:
+            self.stats.transfer_seconds[label] = (
+                self.stats.transfer_seconds.get(label, 0.0) + elapsed
+            )
         return elapsed
 
-    def transfer_to_host(self, nbytes: int) -> float:
-        """Charge a device→host copy of ``nbytes``."""
+    def transfer_to_host(
+        self, nbytes: int, label: Optional[str] = None, latency: float = 0.0
+    ) -> float:
+        """Charge a device→host copy of ``nbytes`` (see :meth:`transfer_to_device`)."""
         nbytes = int(nbytes)
-        elapsed = nbytes / self.spec.transfer_bandwidth
+        if latency < 0:
+            raise KernelError(f"transfer latency must be non-negative, got {latency}")
+        elapsed = latency + nbytes / self.spec.transfer_bandwidth
         self.stats.bytes_to_host += nbytes
         self.stats.sim_time += elapsed
+        if label is not None:
+            self.stats.transfer_seconds[label] = (
+                self.stats.transfer_seconds.get(label, 0.0) + elapsed
+            )
         return elapsed
 
     def absorb(self, stats: ExecutionStats, sim_time: Optional[float] = None) -> float:
@@ -285,6 +368,8 @@ class Device:
         self.stats.bytes_to_device += stats.bytes_to_device
         self.stats.bytes_to_host += stats.bytes_to_host
         self.stats.host_time += stats.host_time
+        for key, value in stats.transfer_seconds.items():
+            self.stats.transfer_seconds[key] = self.stats.transfer_seconds.get(key, 0.0) + value
         self.stats.sim_time += elapsed
         return elapsed
 
@@ -297,6 +382,9 @@ class Device:
         """Zero the counters without touching live allocations."""
         self.stats.reset()
         self.stats.peak_memory_bytes = self._used_bytes
+        self.stats.pool_peak_bytes = {
+            pool: used for pool, used in self._pool_used.items() if used > 0
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         used = self._used_bytes / (1024 ** 2)

@@ -11,8 +11,23 @@ distance-op counts) to verify that the algorithms behave as described.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict
 
 __all__ = ["ExecutionStats"]
+
+
+def _merge_max(a: Dict[str, int], b: Dict[str, int]) -> Dict[str, int]:
+    out = dict(a)
+    for key, value in b.items():
+        out[key] = max(out.get(key, 0), value)
+    return out
+
+
+def _merge_sum(a: Dict[str, float], b: Dict[str, float]) -> Dict[str, float]:
+    out = dict(a)
+    for key, value in b.items():
+        out[key] = out.get(key, 0.0) + value
+    return out
 
 
 @dataclass
@@ -31,6 +46,12 @@ class ExecutionStats:
     sim_time: float = 0.0
     #: wall-clock seconds spent inside simulated kernels (host-side NumPy work)
     host_time: float = 0.0
+    #: per-pool high-water marks of allocated bytes (e.g. "tree" vs "pager");
+    #: ``peak_memory_bytes`` remains the device-wide mark across all pools
+    pool_peak_bytes: Dict[str, int] = field(default_factory=dict)
+    #: simulated transfer seconds attributed to named flows (e.g. "pager-h2d",
+    #: "pager-d2h", "results-d2h"); a subset of ``sim_time``
+    transfer_seconds: Dict[str, float] = field(default_factory=dict)
 
     def merge(self, other: "ExecutionStats") -> "ExecutionStats":
         """Return a new stats object that is the element-wise sum of both."""
@@ -46,6 +67,8 @@ class ExecutionStats:
             peak_memory_bytes=max(self.peak_memory_bytes, other.peak_memory_bytes),
             sim_time=self.sim_time + other.sim_time,
             host_time=self.host_time + other.host_time,
+            pool_peak_bytes=_merge_max(self.pool_peak_bytes, other.pool_peak_bytes),
+            transfer_seconds=_merge_sum(self.transfer_seconds, other.transfer_seconds),
         )
 
     def delta_since(self, earlier: "ExecutionStats") -> "ExecutionStats":
@@ -62,6 +85,11 @@ class ExecutionStats:
             peak_memory_bytes=self.peak_memory_bytes,
             sim_time=self.sim_time - earlier.sim_time,
             host_time=self.host_time - earlier.host_time,
+            pool_peak_bytes=dict(self.pool_peak_bytes),
+            transfer_seconds={
+                key: value - earlier.transfer_seconds.get(key, 0.0)
+                for key, value in self.transfer_seconds.items()
+            },
         )
 
     def copy(self) -> "ExecutionStats":
@@ -93,6 +121,8 @@ class ExecutionStats:
             peak_memory_bytes=self.peak_memory_bytes,
             sim_time=self.sim_time * factor,
             host_time=self.host_time * factor,
+            pool_peak_bytes=dict(self.pool_peak_bytes),
+            transfer_seconds={k: v * factor for k, v in self.transfer_seconds.items()},
         )
 
     def as_dict(self) -> dict:
@@ -109,6 +139,8 @@ class ExecutionStats:
             "peak_memory_bytes": self.peak_memory_bytes,
             "sim_time": self.sim_time,
             "host_time": self.host_time,
+            "pool_peak_bytes": dict(self.pool_peak_bytes),
+            "transfer_seconds": dict(self.transfer_seconds),
         }
 
     def reset(self) -> None:
@@ -124,3 +156,5 @@ class ExecutionStats:
         self.peak_memory_bytes = 0
         self.sim_time = 0.0
         self.host_time = 0.0
+        self.pool_peak_bytes = {}
+        self.transfer_seconds = {}

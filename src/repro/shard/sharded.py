@@ -50,6 +50,7 @@ from ..gpusim.device import Device
 from ..gpusim.specs import CPUSpec, DeviceSpec
 from ..gpusim.stats import ExecutionStats
 from ..metrics.base import Metric
+from ..tier.config import TierConfig
 from .policy import AssignmentPolicy, make_assignment_policy
 
 __all__ = ["ShardedGTS", "ShardedBuildReport", "DEFAULT_HOST_SPEC"]
@@ -100,6 +101,12 @@ class ShardedGTS:
     seed:
         Base construction seed; shard ``s`` uses ``seed + s`` so shards draw
         independent pivot choices while staying reproducible.
+    memory_budget_bytes / tier:
+        Tiered-memory configuration (DESIGN.md §7) applied to **every
+        shard**: each shard keeps its partition host-resident and pages
+        object blocks into a per-device pool of ``memory_budget_bytes``.
+        The ``execute_batch`` contract is unchanged, so the serving layer
+        works over a tiered sharded index as-is.
     """
 
     def __init__(
@@ -114,6 +121,8 @@ class ShardedGTS:
         pivot_strategy: str = "fft",
         prune_mode: str = "two-sided",
         seed: int = 17,
+        memory_budget_bytes: Optional[int] = None,
+        tier: Optional[TierConfig] = None,
     ):
         if num_shards < 1:
             raise IndexError_(f"num_shards must be at least 1, got {num_shards}")
@@ -140,9 +149,12 @@ class ShardedGTS:
                 pivot_strategy=pivot_strategy,
                 prune_mode=prune_mode,
                 seed=self.seed + s,
+                memory_budget_bytes=memory_budget_bytes,
+                tier=tier,
             )
             for s in range(self.num_shards)
         ]
+        self.tier_config = self.shards[0].tier_config
         self._owner: dict[int, tuple[int, int]] = {}
         self._shard_to_global: list[list[int]] = [[] for _ in range(self.num_shards)]
         self._deleted: set[int] = set()
@@ -165,6 +177,8 @@ class ShardedGTS:
         pivot_strategy: str = "fft",
         prune_mode: str = "two-sided",
         seed: int = 17,
+        memory_budget_bytes: Optional[int] = None,
+        tier: Optional[TierConfig] = None,
     ) -> "ShardedGTS":
         """Build a sharded index over ``objects`` and return it."""
         index = cls(
@@ -178,6 +192,8 @@ class ShardedGTS:
             pivot_strategy=pivot_strategy,
             prune_mode=prune_mode,
             seed=seed,
+            memory_budget_bytes=memory_budget_bytes,
+            tier=tier,
         )
         index.bulk_load(objects)
         return index
@@ -291,7 +307,7 @@ class ShardedGTS:
             answers = shard.range_query_batch(queries, radii_arr)
             # each shard gathers its surviving results back to the host
             shard.device.transfer_to_host(
-                sum(len(a) for a in answers) * RESULT_BYTES
+                sum(len(a) for a in answers) * RESULT_BYTES, label="results-d2h"
             )
             return answers
 
@@ -331,7 +347,7 @@ class ShardedGTS:
         def run(sid: int, shard: GTS):
             answers = shard.knn_query_batch(queries, k_arr)
             shard.device.transfer_to_host(
-                sum(len(a) for a in answers) * RESULT_BYTES
+                sum(len(a) for a in answers) * RESULT_BYTES, label="results-d2h"
             )
             return answers
 
@@ -526,6 +542,23 @@ class ShardedGTS:
     def shard_load_bytes(self) -> list[float]:
         """Payload bytes assigned to each shard (what size-balanced evens out)."""
         return list(self._loads)
+
+    @property
+    def tiered(self) -> bool:
+        """True when the shards page their object stores (tiered mode)."""
+        return self.tier_config is not None
+
+    def pager_stats(self) -> Optional[dict]:
+        """Aggregate block-pager counters across the shards (None if resident)."""
+        if not self.tiered:
+            return None
+        totals: dict = {}
+        for shard in self.shards:
+            for key, value in shard.pager.stats.as_dict().items():
+                totals[key] = totals.get(key, 0) + value
+        accesses = totals.get("hits", 0) + totals.get("misses", 0)
+        totals["hit_rate"] = totals.get("hits", 0) / accesses if accesses else 1.0
+        return totals
 
     @property
     def storage_bytes(self) -> int:

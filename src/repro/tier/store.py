@@ -1,0 +1,174 @@
+"""Host-resident blocked object store and its paged device facade.
+
+:class:`TieredObjectStore` keeps the primary copy of every indexed object in
+(simulated) host memory and partitions the id space into fixed-size blocks —
+contiguous id ranges sized so one block holds roughly
+``TierConfig.block_bytes`` of payload.  Blocks are the unit the
+:class:`~repro.tier.pager.BlockPager` stages into device memory.
+
+:class:`PagedObjects` is the sequence facade a tiered
+:class:`~repro.core.gts.GTS` hands to the construction and query algorithms
+in place of the raw object list.  Every object access faults the owning
+block through the pager (charging transfer time on a miss), which is what
+lets the existing level-synchronous kernels run unmodified over a dataset
+that does not fit on the device.  Host-side consumers (``get_object``,
+persistence, cost-model sampling) read :attr:`PagedObjects.raw` instead —
+the data lives in host RAM, so those reads cost no device traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..core.construction import objects_nbytes
+from ..exceptions import TierError
+
+__all__ = ["TieredObjectStore", "PagedObjects"]
+
+
+class TieredObjectStore:
+    """Blocked view over a host-memory object list.
+
+    Blocks are contiguous object-id ranges: ``objects_per_block`` is derived
+    from the average payload size of the initial store, so array datasets
+    get exactly ``block_bytes``-sized blocks and variable-length datasets
+    (strings) get blocks of approximately that size.  Appends extend the
+    tail block in place; ids never move between blocks, so the block map
+    survives index rebuilds unchanged.
+    """
+
+    def __init__(self, objects: Sequence, block_bytes: int):
+        if len(objects) == 0:
+            raise TierError("cannot build a tiered store over an empty object collection")
+        if block_bytes <= 0:
+            raise TierError(f"block size must be positive, got {block_bytes}")
+        self._objects = objects
+        self.block_bytes = int(block_bytes)
+        total = max(1, objects_nbytes(objects))
+        per_object = max(1, math.ceil(total / len(objects)))
+        self.objects_per_block = max(1, self.block_bytes // per_object)
+        self._block_nbytes_cache: dict[int, int] = {}
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def raw(self) -> Sequence:
+        """The underlying host-memory object sequence."""
+        return self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks currently covering the id space."""
+        return (len(self._objects) + self.objects_per_block - 1) // self.objects_per_block
+
+    def block_of(self, obj_id: int) -> int:
+        """Block that owns ``obj_id``."""
+        obj_id = int(obj_id)
+        if obj_id < 0 or obj_id >= len(self._objects):
+            raise TierError(f"object id {obj_id} outside the store (size {len(self._objects)})")
+        return obj_id // self.objects_per_block
+
+    def block_object_ids(self, block_id: int) -> range:
+        """The contiguous id range a block covers."""
+        block_id = int(block_id)
+        if block_id < 0 or block_id >= self.num_blocks:
+            raise TierError(f"unknown block id {block_id} (store has {self.num_blocks})")
+        start = block_id * self.objects_per_block
+        return range(start, min(start + self.objects_per_block, len(self._objects)))
+
+    def block_nbytes(self, block_id: int) -> int:
+        """Payload bytes of one block (cached; tail block recomputed on append)."""
+        block_id = int(block_id)
+        cached = self._block_nbytes_cache.get(block_id)
+        if cached is not None:
+            return cached
+        ids = self.block_object_ids(block_id)
+        nbytes = max(1, objects_nbytes(self._objects, list(ids)))
+        # the tail block can still grow; only full blocks are safe to cache
+        if len(ids) == self.objects_per_block:
+            self._block_nbytes_cache[block_id] = nbytes
+        return nbytes
+
+    def blocks_for(self, obj_ids) -> np.ndarray:
+        """Unique owning blocks of a batch of object ids (ascending)."""
+        ids = np.asarray(obj_ids, dtype=np.int64)
+        if len(ids) == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(ids // self.objects_per_block)
+
+    # ------------------------------------------------------------- mutation
+    def append(self, obj) -> int:
+        """Append one object to the host store; returns the tail block id."""
+        if isinstance(self._objects, np.ndarray):
+            raise TierError("cannot append to an array-backed store; use a list store")
+        self._objects.append(obj)
+        tail = self.block_of(len(self._objects) - 1)
+        self._block_nbytes_cache.pop(tail, None)
+        return tail
+
+
+class PagedObjects:
+    """Sequence facade that faults object blocks through a block pager.
+
+    Integer indexing (the access pattern of ``take_objects`` and the
+    construction mapping phase) routes through
+    :meth:`~repro.tier.pager.BlockPager.access`, so hits cost nothing and
+    misses charge the H2D transfer on the simulated device.  The returned
+    objects are the host objects themselves — the simulation only accounts
+    for the staging traffic, it never copies data for real.
+    """
+
+    def __init__(self, store: TieredObjectStore, pager):
+        self.store = store
+        self.pager = pager
+
+    # ------------------------------------------------------------ sequence
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        obj_id = int(index)
+        if obj_id < 0:
+            obj_id += len(self)
+        self.pager.access(self.store.block_of(obj_id))
+        return self.store.raw[obj_id]
+
+    def __iter__(self) -> Iterator:
+        for obj_id in range(len(self)):
+            yield self[obj_id]
+
+    # ----------------------------------------------------------- host-side
+    @property
+    def raw(self) -> Sequence:
+        """Host-memory view (no device faulting) for host-side readers."""
+        return self.store.raw
+
+    def append(self, obj) -> None:
+        """Append to the host store; a stale resident tail block is invalidated."""
+        tail = self.store.append(obj)
+        self.pager.invalidate(tail)
+
+    # ------------------------------------------------------------ prefetch
+    @property
+    def prefetch_enabled(self) -> bool:
+        """Whether lookahead prefetch is on (callers can skip building the
+        candidate-id argument when it is not)."""
+        return self.pager.prefetch_enabled
+
+    def prefetch_ids(self, obj_ids) -> None:
+        """Stage the owning blocks of ``obj_ids`` in one coalesced transfer.
+
+        Called by the query engine with its first-stage candidate lists
+        (surviving leaves / next-level pivots); a no-op unless the tier
+        config enabled prefetching.
+        """
+        if not self.pager.prefetch_enabled:
+            return
+        self.pager.prefetch(self.store.blocks_for(obj_ids))

@@ -25,6 +25,19 @@ def device() -> Device:
 
 
 @pytest.fixture
+def guarded_device():
+    """A device that fails the test if it ends with live allocations.
+
+    Use for code paths that own their cleanup (index ``close()``, pager
+    ``release()``); the teardown assertion turns a forgotten ``free`` into a
+    :class:`~repro.exceptions.MemoryLeakError` test failure.
+    """
+    device = Device(DeviceSpec())
+    yield device
+    device.assert_no_leaks()
+
+
+@pytest.fixture
 def small_device() -> Device:
     """A device with very little memory, for memory-pressure tests."""
     return Device(DeviceSpec(memory_bytes=256 * 1024))

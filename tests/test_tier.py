@@ -1,0 +1,622 @@
+"""Tests for the out-of-core tiered memory subsystem (repro.tier).
+
+The load-bearing property: a tiered GTS — at any device-pool budget, under
+any eviction policy, with or without prefetch — returns **byte-identical**
+answers and id assignments to a fully-resident GTS across mixed
+query/insert/delete batches.  Tiering is a performance trade, never a
+correctness one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GTS, EditDistance, EuclideanDistance, ShardedGTS
+from repro.exceptions import MemoryLeakError, TierError
+from repro.gpusim import Device, DeviceSpec
+from repro.core.construction import objects_nbytes
+from repro.tier import (
+    BlockPager,
+    ClockPolicy,
+    LRUPolicy,
+    PinnedLRUPolicy,
+    TierConfig,
+    TieredObjectStore,
+    make_eviction_policy,
+)
+from repro.tier.experiment import experiment_memory_tiering
+
+
+def make_store(n=64, dim=2, block_objects=4, seed=0):
+    rng = np.random.default_rng(seed)
+    objects = [row for row in rng.normal(size=(n, dim))]
+    per_object = objects_nbytes(objects) // n
+    return TieredObjectStore(objects, block_bytes=per_object * block_objects)
+
+
+# ---------------------------------------------------------------------------
+# TierConfig
+# ---------------------------------------------------------------------------
+class TestTierConfig:
+    def test_round_trips_through_dict(self):
+        config = TierConfig(
+            memory_budget_bytes=4096, block_bytes=512, eviction="clock", prefetch=True
+        )
+        assert TierConfig.from_dict(config.as_dict()) == config
+
+    def test_rejects_budget_smaller_than_a_block(self):
+        with pytest.raises(TierError):
+            TierConfig(memory_budget_bytes=100, block_bytes=512)
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(TierError):
+            TierConfig(memory_budget_bytes=0)
+        with pytest.raises(TierError):
+            TierConfig(memory_budget_bytes=1024, block_bytes=0)
+
+    def test_memory_budget_kwarg_overrides_config_budget(self):
+        tier = TierConfig(memory_budget_bytes=1024, block_bytes=256)
+        index = GTS(EuclideanDistance(), tier=tier, memory_budget_bytes=2048)
+        assert index.tier_config.memory_budget_bytes == 2048
+        assert index.tier_config.block_bytes == 256
+
+
+# ---------------------------------------------------------------------------
+# TieredObjectStore
+# ---------------------------------------------------------------------------
+class TestTieredObjectStore:
+    def test_blocks_cover_the_id_space_exactly_once(self):
+        store = make_store(n=61, block_objects=4)
+        seen = []
+        for bid in range(store.num_blocks):
+            seen.extend(store.block_object_ids(bid))
+        assert seen == list(range(61))
+
+    def test_block_of_matches_block_ranges(self):
+        store = make_store(n=61, block_objects=4)
+        for bid in range(store.num_blocks):
+            for oid in store.block_object_ids(bid):
+                assert store.block_of(oid) == bid
+
+    def test_block_bytes_sum_to_store_payload(self):
+        store = make_store(n=61, block_objects=4)
+        total = sum(store.block_nbytes(b) for b in range(store.num_blocks))
+        assert total == objects_nbytes(store.raw)
+
+    def test_append_extends_tail_and_recomputes_its_size(self):
+        store = make_store(n=8, block_objects=4)
+        before = store.block_nbytes(store.num_blocks - 1)
+        tail = store.append(np.zeros(2))
+        assert tail == store.num_blocks - 1
+        assert store.block_nbytes(tail) > 0
+        assert len(store) == 9
+        assert store.block_nbytes(0) >= before  # full blocks unchanged
+
+    def test_blocks_for_deduplicates_and_sorts(self):
+        store = make_store(n=32, block_objects=4)
+        blocks = store.blocks_for([0, 1, 2, 3, 17, 16, 3])
+        assert blocks.tolist() == [0, 4]
+
+    def test_rejects_out_of_range_ids(self):
+        store = make_store(n=8)
+        with pytest.raises(TierError):
+            store.block_of(8)
+        with pytest.raises(TierError):
+            store.block_object_ids(99)
+
+
+# ---------------------------------------------------------------------------
+# Eviction policies
+# ---------------------------------------------------------------------------
+class TestEvictionPolicies:
+    def test_lru_evicts_least_recently_used(self):
+        policy = LRUPolicy()
+        for bid in (1, 2, 3):
+            policy.admit(bid)
+        policy.touch(1)
+        assert policy.victim(pinned=set(), avoid=set()) == 2
+
+    def test_lru_respects_avoid_set(self):
+        policy = LRUPolicy()
+        for bid in (1, 2):
+            policy.admit(bid)
+        assert policy.victim(pinned=set(), avoid={1}) == 2
+        assert policy.victim(pinned=set(), avoid={1, 2}) is None
+
+    def test_clock_gives_referenced_blocks_a_second_chance(self):
+        policy = ClockPolicy()
+        for bid in (1, 2, 3):
+            policy.admit(bid)
+        # first sweep clears all reference bits, second finds block 1
+        assert policy.victim(pinned=set(), avoid=set()) == 1
+        policy.forget(1)
+        policy.touch(3)
+        assert policy.victim(pinned=set(), avoid=set()) == 2
+
+    def test_pinned_lru_skips_pinned_until_forced(self):
+        policy = PinnedLRUPolicy()
+        for bid in (1, 2, 3):
+            policy.admit(bid)
+        assert policy.victim(pinned={1}, avoid=set()) == 2
+        assert policy.victim(pinned={1, 2, 3}, avoid=set()) == 1  # forced: plain LRU
+
+    def test_registry_rejects_unknown_policy(self):
+        with pytest.raises(TierError):
+            make_eviction_policy("belady")
+        assert make_eviction_policy("pinned_lru").name == "pinned-lru"
+
+
+# ---------------------------------------------------------------------------
+# BlockPager
+# ---------------------------------------------------------------------------
+class TestBlockPager:
+    def make_pager(self, device, budget_blocks=2, eviction="lru", prefetch=False, n=32):
+        store = make_store(n=n, block_objects=4)
+        block = store.block_nbytes(0)
+        config = TierConfig(
+            memory_budget_bytes=block * budget_blocks,
+            block_bytes=store.block_bytes,
+            eviction=eviction,
+            prefetch=prefetch,
+        )
+        return store, BlockPager(device, store, config)
+
+    def test_miss_then_hit_then_eviction(self, guarded_device):
+        store, pager = self.make_pager(guarded_device, budget_blocks=2)
+        assert pager.access(0) is False  # cold miss
+        assert pager.access(0) is True
+        pager.access(1)
+        pager.access(2)  # evicts block 0 (LRU)
+        assert not pager.is_resident(0)
+        assert pager.stats.misses == 3 and pager.stats.hits == 1
+        assert pager.stats.evictions == 1
+        pager.release()
+
+    def test_budget_is_never_exceeded(self, guarded_device):
+        store, pager = self.make_pager(guarded_device, budget_blocks=3)
+        rng = np.random.default_rng(5)
+        for oid in rng.integers(0, len(store), size=200):
+            pager.access(store.block_of(int(oid)))
+            assert pager.resident_bytes <= pager.budget_bytes
+            assert guarded_device.pool_used_bytes("pager") == pager.resident_bytes
+        pager.release()
+
+    def test_faults_charge_attributed_h2d_time(self, guarded_device):
+        store, pager = self.make_pager(guarded_device, budget_blocks=2)
+        pager.access(0)
+        pager.access(1)
+        stats = guarded_device.stats
+        assert stats.transfer_seconds["pager-h2d"] == pytest.approx(
+            pager.stats.h2d_seconds
+        )
+        # two fault transactions → two latency charges on top of the bytes
+        expected = 2 * pager.config.fault_latency + (
+            pager.stats.bytes_h2d / guarded_device.spec.transfer_bandwidth
+        )
+        assert pager.stats.h2d_seconds == pytest.approx(expected)
+        pager.release()
+
+    def test_prefetch_coalesces_the_fault_latency(self, guarded_device):
+        store, pager = self.make_pager(guarded_device, budget_blocks=4, prefetch=True)
+        staged = pager.prefetch([0, 1, 2, 3])
+        assert staged == 4
+        # one transaction: a single latency for all four blocks
+        expected = pager.config.fault_latency + (
+            pager.stats.bytes_h2d / guarded_device.spec.transfer_bandwidth
+        )
+        assert pager.stats.h2d_seconds == pytest.approx(expected)
+        assert pager.access(2) is True
+        assert pager.stats.prefetch_hits == 1
+        pager.release()
+
+    def test_prefetch_overflow_is_best_effort(self, guarded_device):
+        store, pager = self.make_pager(guarded_device, budget_blocks=2, prefetch=True)
+        staged = pager.prefetch([0, 1, 2, 3])
+        assert staged == 2  # the rest is skipped, not an error
+        assert pager.resident_bytes <= pager.budget_bytes
+        pager.release()
+
+    def test_pinned_blocks_survive_under_pinned_lru(self, guarded_device):
+        store, pager = self.make_pager(guarded_device, budget_blocks=2, eviction="pinned-lru")
+        pager.set_pins({0})
+        pager.access(0)
+        pager.access(1)
+        pager.access(2)  # must evict 1, not the pinned 0
+        assert pager.is_resident(0)
+        assert not pager.is_resident(1)
+        assert pager.stats.forced_evictions == 0
+        pager.release()
+
+    def test_invalidate_drops_without_writeback(self, guarded_device):
+        store, pager = self.make_pager(guarded_device, budget_blocks=2)
+        pager.access(0)
+        pager.mark_dirty(0)
+        pager.invalidate(0)
+        assert pager.stats.invalidations == 1
+        assert pager.stats.writebacks == 0
+        assert guarded_device.stats.bytes_to_host == 0
+        pager.release()
+
+    def test_dirty_eviction_writes_back(self, guarded_device):
+        store, pager = self.make_pager(guarded_device, budget_blocks=1)
+        pager.access(0)
+        pager.mark_dirty(0)
+        pager.access(1)  # evicts the dirty block
+        assert pager.stats.writebacks == 1
+        assert guarded_device.stats.transfer_seconds["pager-d2h"] > 0
+        pager.release()
+
+    def test_block_larger_than_budget_raises(self, guarded_device):
+        store = make_store(n=32, block_objects=8)
+        config = TierConfig(
+            memory_budget_bytes=store.block_nbytes(0),
+            block_bytes=store.block_bytes,
+        )
+        pager = BlockPager(guarded_device, store, config)
+        pager.budget_bytes = store.block_nbytes(0) - 1
+        with pytest.raises(TierError):
+            pager.access(0)
+        pager.release()
+
+    def test_release_frees_every_allocation(self, guarded_device):
+        store, pager = self.make_pager(guarded_device, budget_blocks=4)
+        for bid in range(4):
+            pager.access(bid)
+        pager.release()
+        assert pager.resident_bytes == 0
+        # guarded_device teardown asserts no leaks
+
+
+# ---------------------------------------------------------------------------
+# Device leak guard + pool accounting
+# ---------------------------------------------------------------------------
+class TestLeakGuardAndPools:
+    def test_assert_no_leaks_names_the_leak(self, device):
+        device.allocate(512, "forgotten", pool="pager")
+        with pytest.raises(MemoryLeakError, match="forgotten"):
+            device.assert_no_leaks()
+
+    def test_leak_guard_scopes_to_the_block(self, device):
+        device.allocate(256, "pre-existing")  # outside the guard: ignored
+        with device.leak_guard():
+            alloc = device.allocate(128, "scoped")
+            device.free(alloc)
+        with pytest.raises(MemoryLeakError):
+            with device.leak_guard():
+                device.allocate(128, "leaked")
+
+    def test_pool_peaks_are_tracked_independently(self, device):
+        a = device.allocate(1000, pool="tree")
+        b = device.allocate(600, pool="pager")
+        device.free(b)
+        device.allocate(200, pool="pager")
+        peaks = device.stats.pool_peak_bytes
+        assert peaks["tree"] == 1000
+        assert peaks["pager"] == 600
+        assert device.stats.peak_memory_bytes == 1600
+        assert device.pool_used_bytes("pager") == 200
+        device.free(a)
+
+    def test_reset_stats_reseeds_pool_peaks_from_live_usage(self, device):
+        device.allocate(300, pool="tree")
+        b = device.allocate(700, pool="pager")
+        device.free(b)
+        device.reset_stats()
+        assert device.stats.pool_peak_bytes == {"tree": 300}
+
+    def test_stats_dicts_merge_delta_and_scale(self):
+        from repro.gpusim import ExecutionStats
+
+        a = ExecutionStats(
+            pool_peak_bytes={"tree": 10, "pager": 5}, transfer_seconds={"pager-h2d": 1.0}
+        )
+        b = ExecutionStats(
+            pool_peak_bytes={"pager": 8}, transfer_seconds={"pager-h2d": 0.5, "x": 2.0}
+        )
+        merged = a.merge(b)
+        assert merged.pool_peak_bytes == {"tree": 10, "pager": 8}
+        assert merged.transfer_seconds == {"pager-h2d": 1.5, "x": 2.0}
+        delta = merged.delta_since(a)
+        assert delta.transfer_seconds["pager-h2d"] == pytest.approx(0.5)
+        half = merged.scale(0.5)
+        assert half.transfer_seconds["pager-h2d"] == pytest.approx(0.75)
+        assert half.pool_peak_bytes == merged.pool_peak_bytes
+        copied = merged.copy()
+        copied.transfer_seconds["pager-h2d"] = 99.0
+        assert merged.transfer_seconds["pager-h2d"] == 1.5
+
+
+# ---------------------------------------------------------------------------
+# Tiered GTS: answers identical to the fully-resident index
+# ---------------------------------------------------------------------------
+def mixed_batches(points, holdout, num_queries=12):
+    """A deterministic mixed workload: queries, inserts, deletes, queries."""
+    return [
+        [("knn", points[i], 5) for i in range(num_queries)]
+        + [("range", points[i], 0.6) for i in range(num_queries)],
+        [("insert", holdout[0]), ("knn", holdout[0], 4), ("insert", holdout[1])],
+        [("delete", 3), ("range", points[1], 0.8), ("delete", 10), ("knn", points[2], 6)],
+        [("insert", holdout[2]), ("delete", len(points)), ("range", holdout[1], 0.7)],
+    ]
+
+
+class TestTieredGTS:
+    CAPS = (0.5, 0.25, 0.1)
+    POLICIES = ("lru", "clock", "pinned-lru")
+
+    def build_pair(self, objects, metric, tier, node_capacity=8, seed=11):
+        resident = GTS.build(objects, metric, node_capacity=node_capacity, seed=seed)
+        tiered = GTS.build(
+            objects, metric, node_capacity=node_capacity, seed=seed, tier=tier
+        )
+        assert tiered.tiered and not resident.tiered
+        return resident, tiered
+
+    @pytest.mark.parametrize("eviction", POLICIES)
+    @pytest.mark.parametrize("cap", CAPS)
+    def test_mixed_batches_identical_at_every_cap(self, points_2d, eviction, cap):
+        points, holdout = points_2d[:500], points_2d[500:]
+        nbytes = objects_nbytes(points)
+        tier = TierConfig(
+            memory_budget_bytes=max(256, int(nbytes * cap)),
+            block_bytes=256,
+            eviction=eviction,
+        )
+        resident, tiered = self.build_pair(points, EuclideanDistance(), tier)
+        for batch in mixed_batches(points, holdout):
+            expected = resident.execute_batch(batch)
+            got = tiered.execute_batch(batch)
+            assert got == expected  # answers AND assigned ids, byte-identical
+        assert tiered.num_objects == resident.num_objects
+        resident.close()
+        tiered.close()
+        tiered.device.assert_no_leaks()
+
+    def test_prefetch_changes_timing_not_answers(self, points_2d):
+        points = points_2d[:400]
+        nbytes = objects_nbytes(points)
+        base = TierConfig(memory_budget_bytes=nbytes // 4, block_bytes=256)
+        resident, tiered = self.build_pair(points, EuclideanDistance(), base)
+        prefetching = GTS.build(
+            points, EuclideanDistance(), node_capacity=8, seed=11,
+            tier=TierConfig(memory_budget_bytes=nbytes // 4, block_bytes=256, prefetch=True),
+        )
+        queries = [points[i] for i in range(16)]
+        expected = resident.knn_query_batch(queries, 6)
+        assert tiered.knn_query_batch(queries, 6) == expected
+        assert prefetching.knn_query_batch(queries, 6) == expected
+        assert prefetching.pager.stats.prefetched_blocks > 0
+        for index in (resident, tiered, prefetching):
+            index.close()
+
+    def test_budget_below_largest_real_block_fails_at_build(self, word_list, edit_metric):
+        # blocks are sized by the *average* payload, so variable-length data
+        # can produce a block above block_bytes; that must be a clear build-
+        # time error, never a TierError mid-query
+        with pytest.raises(TierError, match="largest object block"):
+            GTS.build(
+                word_list, edit_metric, node_capacity=6,
+                tier=TierConfig(memory_budget_bytes=40, block_bytes=40),
+            )
+
+    def test_string_dataset_pages_identically(self, word_list, edit_metric):
+        nbytes = objects_nbytes(word_list)
+        tier = TierConfig(memory_budget_bytes=max(64, nbytes // 5), block_bytes=64)
+        resident, tiered = self.build_pair(word_list, edit_metric, tier, node_capacity=6)
+        queries = word_list[:8]
+        assert tiered.knn_query_batch(queries, 4) == resident.knn_query_batch(queries, 4)
+        assert tiered.range_query_batch(queries, 2.0) == resident.range_query_batch(queries, 2.0)
+        resident.close()
+        tiered.close()
+
+    def test_tight_cap_attributes_pager_traffic(self, points_2d):
+        points = points_2d[:500]
+        nbytes = objects_nbytes(points)
+        tier = TierConfig(memory_budget_bytes=nbytes // 10, block_bytes=256)
+        index = GTS.build(points, EuclideanDistance(), node_capacity=8, seed=11, tier=tier)
+        index.pager.stats.reset()
+        before = index.device.snapshot()
+        index.knn_query_batch([points[i] for i in range(12)], 5)
+        delta = index.device.stats.delta_since(before)
+        assert index.pager.stats.misses > 0
+        assert delta.transfer_seconds.get("pager-h2d", 0.0) > 0
+        assert delta.transfer_seconds.get("results-d2h", 0.0) > 0
+        peaks = index.device.stats.pool_peak_bytes
+        assert peaks["pager"] <= tier.memory_budget_bytes
+        assert peaks["tree"] > 0
+        index.close()
+
+    def test_batch_update_and_rebuild_stay_identical(self, points_2d, rng):
+        points = points_2d[:450]
+        tier = TierConfig(memory_budget_bytes=2048, block_bytes=256, eviction="pinned-lru")
+        resident, tiered = self.build_pair(points, EuclideanDistance(), tier)
+        inserts = [rng.normal(size=2) for _ in range(20)]
+        resident.batch_update(inserts=inserts, deletes=[1, 5, 9])
+        tiered.batch_update(inserts=inserts, deletes=[1, 5, 9])
+        resident.rebuild()
+        tiered.rebuild()
+        queries = [points[i] for i in range(10)]
+        assert tiered.knn_query_batch(queries, 6) == resident.knn_query_batch(queries, 6)
+        assert tiered.range_query_batch(queries, 0.7) == resident.range_query_batch(queries, 0.7)
+        resident.close()
+        tiered.close()
+        tiered.device.assert_no_leaks()
+
+    def test_get_object_reads_host_side_without_faulting(self, points_2d):
+        points = points_2d[:300]
+        tier = TierConfig(memory_budget_bytes=1024, block_bytes=256)
+        index = GTS.build(points, EuclideanDistance(), node_capacity=8, tier=tier)
+        hits, misses = index.pager.stats.hits, index.pager.stats.misses
+        np.testing.assert_array_equal(index.get_object(5), points[5])
+        assert (index.pager.stats.hits, index.pager.stats.misses) == (hits, misses)
+        index.close()
+
+    def test_close_releases_pool_and_tree(self, points_2d):
+        device = Device(DeviceSpec())
+        tier = TierConfig(memory_budget_bytes=2048, block_bytes=256)
+        index = GTS.build(
+            points_2d[:300], EuclideanDistance(), node_capacity=8, device=device, tier=tier
+        )
+        assert device.pool_used_bytes("pager") > 0
+        index.close()
+        device.assert_no_leaks()
+
+    def test_persistence_round_trips_tier_config(self, points_2d, tmp_path):
+        points = points_2d[:300]
+        tier = TierConfig(
+            memory_budget_bytes=2048, block_bytes=256, eviction="pinned-lru", prefetch=True
+        )
+        index = GTS.build(points, EuclideanDistance(), node_capacity=8, seed=5, tier=tier)
+        queries = [points[i] for i in range(8)]
+        expected = index.knn_query_batch(queries, 5)
+        path = index.save(tmp_path / "tiered.npz")
+        loaded = GTS.load(path)
+        assert loaded.tier_config == tier
+        assert loaded.tiered and loaded.pager is not None
+        assert loaded.pager.policy.name == "pinned-lru"
+        assert loaded.knn_query_batch(queries, 5) == expected
+        index.close()
+        loaded.close()
+
+    def test_loading_never_faults_device_blocks(self, points_2d, tmp_path):
+        points = points_2d[:300]
+        tier = TierConfig(memory_budget_bytes=1024, block_bytes=256)
+        index = GTS.build(points, EuclideanDistance(), node_capacity=8, tier=tier)
+        index.insert(np.array([0.5, 0.5]))  # populate the cache table
+        path = index.save(tmp_path / "cached.npz")
+        loaded = GTS.load(path)
+        # serialisation and cache repopulation are host-side reads: a fresh
+        # load must start with a cold, untouched pager
+        assert loaded.pager.stats.misses == 0 and loaded.pager.stats.hits == 0
+        assert loaded.pager.resident_bytes == 0
+        assert loaded.cache_size == 1
+        index.close()
+        loaded.close()
+
+    def test_resident_archives_still_load_resident(self, points_2d, tmp_path):
+        index = GTS.build(points_2d[:300], EuclideanDistance(), node_capacity=8)
+        path = index.save(tmp_path / "resident.npz")
+        loaded = GTS.load(path)
+        assert loaded.tier_config is None and loaded.pager is None
+        index.close()
+        loaded.close()
+
+
+# ---------------------------------------------------------------------------
+# Tiered index behind the serving layer and the shard layer
+# ---------------------------------------------------------------------------
+class TestTieredServing:
+    def test_service_over_tiered_index_matches_sequential_replay(self, points_2d):
+        from repro.service import GTSService
+        from repro.service.experiment import sequential_replay
+
+        points, holdout = points_2d[:400], points_2d[400:]
+        nbytes = objects_nbytes(points)
+        tier = TierConfig(memory_budget_bytes=nbytes // 4, block_bytes=256)
+        tiered = GTS.build(points, EuclideanDistance(), node_capacity=8, seed=9, tier=tier)
+        service = GTSService(tiered)
+        for i in range(10):
+            service.submit("knn", points[i], k=4)
+        service.submit("insert", holdout[0])
+        service.submit("range", points[3], radius=0.5)
+        service.submit("delete", 7)
+        service.submit("knn", points[5], k=3)
+        responses = service.flush()
+
+        oracle = GTS.build(points, EuclideanDistance(), node_capacity=8, seed=9)
+        requests = [r.request for r in responses]
+        assert [r.result for r in responses] == sequential_replay(oracle, requests)
+        tiered.close()
+        oracle.close()
+
+    def test_sharded_tiered_matches_resident_sharded(self, points_2d):
+        points = points_2d[:480]
+        nbytes = objects_nbytes(points)
+        resident = ShardedGTS.build(
+            points, EuclideanDistance(), num_shards=3, node_capacity=8, seed=13
+        )
+        tiered = ShardedGTS.build(
+            points, EuclideanDistance(), num_shards=3, node_capacity=8, seed=13,
+            tier=TierConfig(memory_budget_bytes=max(512, nbytes // 8), block_bytes=256),
+        )
+        assert tiered.tiered
+        queries = [points[i] for i in range(12)]
+        assert tiered.knn_query_batch(queries, 5) == resident.knn_query_batch(queries, 5)
+        assert tiered.range_query_batch(queries, 0.6) == resident.range_query_batch(queries, 0.6)
+        stats = tiered.pager_stats()
+        assert stats["misses"] > 0 and 0.0 <= stats["hit_rate"] <= 1.0
+        # the coordinating timeline absorbed the shards' attributed traffic
+        assert tiered.device.stats.transfer_seconds.get("pager-h2d", 0.0) > 0
+        resident.close()
+        tiered.close()
+
+    def test_resident_sharded_reports_no_pager_stats(self, points_2d):
+        index = ShardedGTS.build(points_2d[:300], EuclideanDistance(), num_shards=2, node_capacity=8)
+        assert index.pager_stats() is None
+        index.close()
+
+
+# ---------------------------------------------------------------------------
+# Experiment + CLI
+# ---------------------------------------------------------------------------
+class TestMemoryTieringExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return experiment_memory_tiering(
+            cardinality=600,
+            num_queries=12,
+            k=5,
+            cap_fractions=(1.0, 0.25),
+            evictions=("lru", "pinned-lru"),
+        )
+
+    def test_every_cell_is_exact(self, result):
+        assert len(result.rows) == 6  # resident + 2x2 sweep + prefetch ablation
+        assert all(row["status"] == "ok" and row["correct"] for row in result.rows)
+
+    def test_tight_caps_pay_attributed_transfer_time(self, result):
+        full = next(r for r in result.rows if r["eviction"] == "lru" and r["cap_fraction"] == 1.0)
+        tight = next(r for r in result.rows if r["eviction"] == "lru" and r["cap_fraction"] == 0.25)
+        assert tight["hit_rate"] < full["hit_rate"]
+        assert tight["h2d_seconds"] > full["h2d_seconds"]
+        assert tight["knn_slowdown"] > 1.0
+        assert tight["pager_peak_bytes"] <= tight["budget_bytes"]
+        assert all(row["tree_peak_bytes"] > 0 for row in result.rows)
+
+    def test_registered_in_the_cli(self):
+        from repro.cli import EXPERIMENT_REGISTRY
+
+        assert "memory-tiering" in EXPERIMENT_REGISTRY
+
+
+class TestServeSimTiered:
+    def test_serve_sim_with_device_memory_cap_verifies(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "serve-sim", "--dataset", "tloc", "--cardinality", "400",
+            "--clients", "2", "--rate", "30000", "--duration", "0.001",
+            "--device-memory", "0.002", "--block-kb", "0.25",
+            "--eviction", "pinned-lru", "--max-batch", "16", "--verify",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tiering" in out
+        assert "pager" in out
+        assert "hit rate" in out
+        assert "identical to sequential replay" in out
+
+    def test_serve_sim_sharded_and_tiered(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "serve-sim", "--dataset", "tloc", "--cardinality", "400",
+            "--clients", "2", "--rate", "30000", "--duration", "0.001",
+            "--shards", "2", "--device-memory", "0.002", "--block-kb", "0.25",
+            "--max-batch", "16", "--verify",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pager" in out
+        assert "identical to sequential replay" in out
