@@ -3,6 +3,7 @@
 #   make test         tier-1 test suite (the gate every PR must keep green)
 #   make bench-smoke  fast benchmark smoke run (reduced scale, quick figures)
 #   make bench        full benchmark harness (all paper figures/tables)
+#   make profile      cProfile a standard serve-sim workload (top-20 by cumtime)
 #   make lint         byte-compile every source tree (no linter is vendored)
 #   make example      run the quickstart end to end
 #   make examples     run every example script (the CI smoke job)
@@ -15,7 +16,7 @@ PYTHON      ?= python
 PYTHONPATH  := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test bench-smoke bench lint example examples
+.PHONY: test bench-smoke bench profile lint example examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,12 +31,22 @@ bench-smoke:
 		benchmarks/bench_fig10_identical.py \
 		benchmarks/bench_service_throughput.py \
 		benchmarks/bench_sharding.py \
-		benchmarks/bench_memory_tiering.py
+		benchmarks/bench_memory_tiering.py \
+		benchmarks/bench_host_wallclock.py
 
 # bench_*.py does not match pytest's default test-file pattern, so the files
 # must be named explicitly (a bare `pytest benchmarks` collects nothing).
 bench:
 	REPRO_BENCH_MANIFEST=BENCH_full.json $(PYTHON) -m pytest -q benchmarks/bench_*.py
+
+# Profile the host wall-clock of a standard serve-sim workload so perf PRs
+# start from data rather than guesses; prints the top-20 functions by
+# cumulative time and leaves the raw stats in profile.out.
+profile:
+	$(PYTHON) -m cProfile -o profile.out -m repro.cli serve-sim \
+		--dataset vector --cardinality 6000 --clients 8 --rate 200000 \
+		--duration 4e-3 --max-batch 128
+	$(PYTHON) -c "import pstats; pstats.Stats('profile.out').sort_stats('cumulative').print_stats(20)"
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

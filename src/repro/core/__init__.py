@@ -15,6 +15,7 @@ from .gts import GTS
 from .knn_query import batch_knn_query
 from .multimetric import MultiColumnGTS
 from .nodes import TreeStructure, level_size, level_start, total_nodes, tree_height
+from .objectstore import ColumnarStore, make_object_store
 from .persistence import INDEX_FORMAT_VERSION, load_index, save_index
 from .pivots import available_pivot_strategies, get_pivot_selector
 from .range_query import batch_range_query
@@ -23,6 +24,8 @@ from .searchcommon import PruneMode
 __all__ = [
     "GTS",
     "MultiColumnGTS",
+    "ColumnarStore",
+    "make_object_store",
     "TreeStructure",
     "save_index",
     "load_index",

@@ -33,24 +33,43 @@ from ..gpusim.kernels import sort_kernel
 from ..metrics.base import Metric
 from .encoding import encode_distances
 from .nodes import NO_PIVOT, TreeStructure, level_size, level_start
+from .objectstore import (
+    GATHER_CHUNK_ELEMENTS,
+    ColumnarStore,
+    gather_rows,
+    object_dimension,
+    store_metric_digest,
+)
 from .pivots import PivotSelector, get_pivot_selector
 
-__all__ = ["build_tree", "BuildResult", "take_objects", "objects_nbytes"]
+__all__ = [
+    "build_tree",
+    "BuildResult",
+    "take_objects",
+    "objects_nbytes",
+    "concatenated_ranges",
+]
 
 
 def take_objects(objects: Sequence, ids) -> Sequence:
     """Return the objects with the given ids, preserving array-ness.
 
-    ``objects`` may be a NumPy array (vector datasets) or a plain list
-    (string datasets); the result is suitable for ``Metric.pairwise``.
+    ``objects`` may be a :class:`~repro.core.objectstore.ColumnarStore` or a
+    tiered :class:`~repro.tier.store.PagedObjects` facade (both expose a
+    ``gather`` fast path — one columnar block gather, with the paged store
+    additionally charging its block faults), a NumPy array (vector datasets)
+    or a plain list (string datasets); the result is suitable for
+    ``Metric.pairwise`` / ``Metric.pairwise_segmented``.  The store dispatch
+    itself lives in :func:`~repro.core.objectstore.gather_rows`.
     """
-    if isinstance(objects, np.ndarray):
-        return objects[np.asarray(ids, dtype=np.int64)]
-    return [objects[int(i)] for i in np.asarray(ids, dtype=np.int64)]
+    return gather_rows(objects, ids)
 
 
 def objects_nbytes(objects: Sequence, ids=None) -> int:
     """Estimate the device-resident size of a set of objects in bytes."""
+    if isinstance(objects, ColumnarStore):
+        count = len(objects) if ids is None else len(ids)
+        return int(objects.row_nbytes * count)
     if isinstance(objects, np.ndarray):
         per_row = objects[0].nbytes if len(objects) else 0
         count = len(objects) if ids is None else len(ids)
@@ -68,6 +87,24 @@ def objects_nbytes(objects: Sequence, ids=None) -> int:
         else:
             total += 8
     return int(total)
+
+
+def concatenated_ranges(starts: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Flat indices of ``concatenate([arange(s, s + n) for s, n in zip(...)])``.
+
+    The cumulative-sum trick behind every segmented gather in this engine:
+    one vectorised pass instead of a Python loop over ranges.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    total = int(sizes.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    offsets = np.cumsum(sizes) - sizes
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(offsets, sizes)
+        + np.repeat(np.asarray(starts, dtype=np.int64), sizes)
+    )
 
 
 @dataclass
@@ -110,20 +147,69 @@ def _map_level(
 ) -> int:
     """Mapping phase: distances from each node's pivot to its objects.
 
-    Returns the number of distance computations performed (for statistics);
-    the device time is charged as one level-wide kernel.
+    Evaluated as fused segmented passes: every node of the level is a
+    segment of the (contiguous) table list, its pivot the segment's query.
+    Nodes are processed in cache-sized chunks (the same host-side blocking
+    as the query engine's ``segmented_distances``); the device time is
+    charged as one level-wide kernel, exactly as before.  Returns the number
+    of distance computations performed (for statistics).
     """
-    total = 0
     host_start = time.perf_counter()
-    for node_id in node_ids:
-        p = int(tree.pos[node_id])
-        s = int(tree.size[node_id])
-        if s == 0:
-            continue
-        pivot_obj = objects[int(tree.pivot[node_id])]
-        node_objects = take_objects(objects, tree.obj_ids[p : p + s])
-        tree.obj_dis[p : p + s] = metric.pairwise(pivot_obj, node_objects)
-        total += s
+    sizes = tree.size[node_ids]
+    active = node_ids[sizes > 0]
+    sizes = tree.size[active]
+    total = int(sizes.sum())
+    if total:
+        digest = store_metric_digest(objects, metric)
+        dim = object_dimension(objects)
+        budget_rows = (
+            total + len(active)
+            if dim is None
+            else max(1, GATHER_CHUNK_ELEMENTS // max(1, dim))
+        )
+        start = 0
+        while start < len(active):
+            end = start + 1
+            chunk_rows = int(sizes[start]) + 1
+            while end < len(active) and chunk_rows + int(sizes[end]) + 1 <= budget_rows:
+                chunk_rows += int(sizes[end]) + 1
+                end += 1
+            chunk_nodes = active[start:end]
+            chunk_sizes = sizes[start:end]
+            flat = concatenated_ranges(tree.pos[chunk_nodes], chunk_sizes)
+            obj_ids = tree.obj_ids[flat]
+            if getattr(objects, "coalesced_gather", False):
+                # Tiered store: interleave each node's pivot id ahead of its
+                # object ids so the pager sees the same per-node block access
+                # order as the historical per-node loop (pivot fault, then
+                # the node's slice).
+                counts = chunk_sizes + 1
+                seq = np.empty(int(counts.sum()), dtype=np.int64)
+                pivot_pos = np.cumsum(counts) - counts
+                obj_mask = np.ones(len(seq), dtype=bool)
+                obj_mask[pivot_pos] = False
+                seq[pivot_pos] = tree.pivot[chunk_nodes]
+                seq[obj_mask] = obj_ids
+                rows = take_objects(objects, seq)
+                if isinstance(rows, np.ndarray):
+                    pivots, candidates = rows[pivot_pos], rows[obj_mask]
+                else:
+                    obj_pos = np.flatnonzero(obj_mask)
+                    pivots = [rows[int(i)] for i in pivot_pos]
+                    candidates = [rows[int(i)] for i in obj_pos]
+            else:
+                # Resident store: no access-order bookkeeping, two straight
+                # gathers
+                pivots = take_objects(objects, tree.pivot[chunk_nodes])
+                candidates = take_objects(objects, obj_ids)
+            boundaries = np.concatenate(([0], np.cumsum(chunk_sizes)))
+            tree.obj_dis[flat] = metric.pairwise_segmented(
+                pivots,
+                candidates,
+                boundaries,
+                object_digest=None if digest is None else digest[obj_ids],
+            )
+            start = end
     host = time.perf_counter() - host_start
     device.launch_kernel(
         work_items=total, op_cost=metric.unit_cost, label="gts-mapping", host_time=host
@@ -144,12 +230,12 @@ def _partition_level(
     max_dis = float(tree.obj_dis.max()) if n else 0.0
     device.launch_kernel(work_items=n, op_cost=1.0, label="gts-max-reduce")
 
-    # Encoding (lines 3-6): one key per object.
+    # Encoding (lines 3-6): one key per object; the per-node segment labels
+    # are scattered in one pass over the (contiguous) node slices.
     segment_ids = np.zeros(n, dtype=np.int64)
-    for local_index, node_id in enumerate(node_ids):
-        p = int(tree.pos[node_id])
-        s = int(tree.size[node_id])
-        segment_ids[p : p + s] = local_index
+    sizes = tree.size[node_ids]
+    flat = concatenated_ranges(tree.pos[node_ids], sizes)
+    segment_ids[flat] = np.repeat(np.arange(len(node_ids), dtype=np.int64), sizes)
     encoded = encode_distances(tree.obj_dis, segment_ids, max_dis)
     device.launch_kernel(work_items=n, op_cost=2.0, label="gts-encode")
 

@@ -48,6 +48,7 @@ from .cost_model import (
 )
 from .knn_query import batch_knn_query
 from .nodes import TreeStructure
+from .objectstore import make_object_store
 from .range_query import batch_range_query
 from .searchcommon import PruneMode, broadcast_query_param
 
@@ -216,7 +217,9 @@ class GTS:
         if self._pager is not None:
             self._pager.release()
             self._pager = None
-        self._objects = [objects[i] for i in range(len(objects))]
+        # Vector datasets stay one contiguous matrix end-to-end (a
+        # ColumnarStore); everything else falls back to a plain list.
+        self._objects = make_object_store(objects)
         if self.tier_config is not None:
             self._init_tier()
         self._tombstones = set()

@@ -13,6 +13,11 @@ bound:
 * at the leaf level all surviving objects are verified and merged with the
   candidate pool; the k smallest distances are returned.
 
+The candidate pools are flat ``(query, id, distance)`` triple arrays: adds
+append in O(1), and the per-query k-th bounds are recomputed lazily with one
+global dedup-lexsort plus a ``np.partition`` per query — no per-hit Python
+dict traffic (DESIGN.md §8).
+
 The result is exact in the usual tie-tolerant sense: the returned distances
 are the true k smallest, and when several objects tie at the k-th distance an
 arbitrary subset of the tied objects completes the answer.
@@ -36,57 +41,92 @@ from .searchcommon import (
     IntermediateTable,
     PruneMode,
     broadcast_query_param,
+    dedupe_min_triples,
+    filter_live_triples,
+    leaf_candidate_segments,
+    leaf_prefetch_ids,
     level_pair_limit,
     pivot_distances_per_query,
     prune_children,
+    segmented_distances,
     split_into_groups,
+    tombstone_array,
+    triples_to_answer_lists,
 )
 
 __all__ = ["batch_knn_query"]
 
 
 class _CandidatePools:
-    """Per-query pools of (object id -> distance) kNN candidates."""
+    """Per-query kNN candidate pools as flat (query, id, distance) arrays.
 
-    def __init__(self, num_queries: int, k: np.ndarray):
-        self._pools: list[dict[int, float]] = [dict() for _ in range(num_queries)]
+    Adds are O(1) array appends; compaction (triggered lazily by bound or
+    top-k reads) merges the pending triples with one ``np.lexsort``, keeping
+    the minimum distance per (query, id) pair — the same semantics as the
+    historical per-hit dict updates, minus the Python-object traffic.
+    """
+
+    def __init__(self, num_queries: int, k: np.ndarray, tombstones: Optional[np.ndarray]):
+        self._num_queries = int(num_queries)
         self._k = k
+        self._tombstones = tombstones
+        # compacted pool: sorted by (query, id), unique per (query, id)
+        self._cq = np.zeros(0, dtype=np.int64)
+        self._cid = np.zeros(0, dtype=np.int64)
+        self._cd = np.zeros(0, dtype=np.float64)
+        self._pending: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._bounds: Optional[np.ndarray] = None
 
-    def add(self, query_index: int, obj_id: int, dist: float, exclude: Optional[set]) -> None:
-        if exclude and obj_id in exclude:
+    def add(self, query_indices, obj_ids, dists) -> None:
+        """Append candidate triples; tombstoned objects are dropped here."""
+        query_indices, obj_ids, dists = filter_live_triples(
+            query_indices, obj_ids, dists, self._tombstones
+        )
+        if len(obj_ids) == 0:
             return
-        pool = self._pools[query_index]
-        prev = pool.get(obj_id)
-        if prev is None or dist < prev:
-            pool[obj_id] = dist
+        self._pending.append((query_indices, obj_ids, dists))
+        self._bounds = None
 
-    def add_many(
-        self,
-        query_index: int,
-        obj_ids: np.ndarray,
-        dists: np.ndarray,
-        exclude: Optional[set],
-    ) -> None:
-        for oid, dist in zip(obj_ids, dists):
-            self.add(query_index, int(oid), float(dist), exclude)
+    def _compact(self) -> None:
+        if not self._pending:
+            return
+        qs = np.concatenate([self._cq] + [p[0] for p in self._pending])
+        ids = np.concatenate([self._cid] + [p[1] for p in self._pending])
+        dists = np.concatenate([self._cd] + [p[2] for p in self._pending])
+        self._pending = []
+        self._cq, self._cid, self._cd = dedupe_min_triples(qs, ids, dists)
+
+    def _ensure_bounds(self) -> np.ndarray:
+        self._compact()
+        if self._bounds is None:
+            bounds = np.full(self._num_queries, np.inf, dtype=np.float64)
+            edges = np.searchsorted(
+                self._cq, np.arange(self._num_queries + 1, dtype=np.int64)
+            )
+            for qi in range(self._num_queries):
+                start, end = int(edges[qi]), int(edges[qi + 1])
+                k = int(self._k[qi])
+                if end - start >= k:
+                    bounds[qi] = np.partition(self._cd[start:end], k - 1)[k - 1]
+            self._bounds = bounds
+        return self._bounds
 
     def bound(self, query_index: int) -> float:
         """Current k-th bound: inf until k distinct candidates are known."""
-        pool = self._pools[query_index]
-        k = int(self._k[query_index])
-        if len(pool) < k:
-            return np.inf
-        dists = sorted(pool.values())
-        return float(dists[k - 1])
+        return float(self._ensure_bounds()[int(query_index)])
 
     def bounds(self, query_indices: np.ndarray) -> np.ndarray:
-        return np.array([self.bound(int(q)) for q in query_indices], dtype=np.float64)
+        return self._ensure_bounds()[np.asarray(query_indices, dtype=np.int64)]
 
-    def topk(self, query_index: int) -> list[tuple[int, float]]:
-        pool = self._pools[query_index]
-        k = int(self._k[query_index])
-        ranked = sorted(pool.items(), key=lambda item: (item[1], item[0]))
-        return [(int(oid), float(dist)) for oid, dist in ranked[:k]]
+    def k_of(self, query_indices: np.ndarray) -> np.ndarray:
+        return self._k[np.asarray(query_indices, dtype=np.int64)]
+
+    def topk_all(self) -> list[list[tuple[int, float]]]:
+        """Every query's top-k answer list from one global (q, dist, id) sort."""
+        self._compact()
+        return triples_to_answer_lists(
+            self._cq, self._cid, self._cd, self._num_queries, k=self._k
+        )
 
 
 def _verify_leaves(
@@ -97,37 +137,44 @@ def _verify_leaves(
     queries: Sequence,
     leaf_q: np.ndarray,
     leaf_node: np.ndarray,
-    exclude: Optional[set],
+    tombstones: Optional[np.ndarray],
     pools: _CandidatePools,
 ) -> None:
-    """Verify every object of the surviving leaves against its query."""
+    """Verify every object of the surviving leaves against its query.
+
+    Same fused shape as the MRQ verification: per-query id-sorted candidate
+    segments, one gather, one segmented distance call, one bulk pool add.
+    """
     if len(leaf_q) == 0:
         return
     # Lookahead for tiered stores (see range_query._verify_leaves).
     if getattr(objects, "prefetch_enabled", False):
-        objects.prefetch_ids(
-            np.concatenate([tree.node_objects(int(n)) for n in np.unique(leaf_node)])
-        )
-    order = np.argsort(leaf_q, kind="stable")
-    sorted_q = leaf_q[order]
-    unique_queries, starts = np.unique(sorted_q, return_index=True)
-    boundaries = list(starts) + [len(order)]
-    total_verified = 0
+        objects.prefetch_ids(leaf_prefetch_ids(tree, leaf_node))
     host_start = time.perf_counter()
-    for qi, query_index in enumerate(unique_queries):
-        idx = order[boundaries[qi] : boundaries[qi + 1]]
-        obj_ids = np.concatenate([tree.node_objects(int(n)) for n in leaf_node[idx]])
-        if exclude:
-            obj_ids = obj_ids[~np.isin(obj_ids, list(exclude))]
-        if len(obj_ids) == 0:
-            continue
-        # sorted gather: order-insensitive (candidates land in a dict pool)
-        # and block-coalesced for tiered stores (see range_query)
-        obj_ids = np.sort(obj_ids)
-        candidates = take_objects(objects, obj_ids)
-        dists = metric.pairwise(queries[int(query_index)], candidates)
-        total_verified += len(obj_ids)
-        pools.add_many(int(query_index), obj_ids, dists, exclude)
+    unique_queries, boundaries, obj_ids = leaf_candidate_segments(
+        tree,
+        leaf_q,
+        leaf_node,
+        tombstones,
+        coalesce=getattr(objects, "coalesced_gather", False),
+    )
+    total_verified = len(obj_ids)
+    if total_verified:
+        # sorted gather: order-insensitive (candidates land in the pool) and
+        # block-coalesced for tiered stores (see range_query)
+        query_objects = take_objects(queries, unique_queries)
+        dists = segmented_distances(metric, objects, query_objects, boundaries, obj_ids)
+        owner = np.repeat(unique_queries, np.diff(boundaries))
+        # Host-side candidate culling: a verified object strictly beyond the
+        # query's current k-th bound can never enter the final top-k (the
+        # bound only shrinks, and ties at the bound are kept).  This is what
+        # a real device kernel does — select per query, ship k results — and
+        # it keeps the host pool near k entries per query instead of every
+        # verified candidate.  Answers and device accounting are unaffected.
+        keep = dists <= pools.bounds(owner)
+        if not keep.all():
+            owner, obj_ids, dists = owner[keep], obj_ids[keep], dists[keep]
+        pools.add(owner, obj_ids, dists)
     host = time.perf_counter() - host_start
     device.launch_kernel(
         work_items=total_verified,
@@ -136,7 +183,7 @@ def _verify_leaves(
         host_time=host,
     )
     if total_verified:
-        answers = int(sum(pools._k[int(q)] for q in unique_queries))
+        answers = int(pools.k_of(np.unique(leaf_q)).sum())
         needed = max(answers, 1) * RESULT_BYTES
         buffer_bytes = min(needed, max(RESULT_BYTES, device.available_bytes))
         alloc = device.allocate(buffer_bytes, "mknn-results", pool="workspace")
@@ -154,7 +201,7 @@ def _descend(
     cand_q: np.ndarray,
     cand_node: np.ndarray,
     pivot_dist: np.ndarray,
-    exclude: Optional[set],
+    tombstones: Optional[np.ndarray],
     mode: PruneMode,
     pools: _CandidatePools,
 ) -> None:
@@ -163,7 +210,7 @@ def _descend(
         return
     if tree.is_leaf_level(layer):
         _verify_leaves(
-            tree, objects, metric, device, queries, cand_q, cand_node, exclude, pools
+            tree, objects, metric, device, queries, cand_q, cand_node, tombstones, pools
         )
         return
 
@@ -180,7 +227,7 @@ def _descend(
                 cand_q[group],
                 cand_node[group],
                 pivot_dist[group],
-                exclude,
+                tombstones,
                 mode,
                 pools,
             )
@@ -206,8 +253,7 @@ def _descend(
             next_pivot_dist = pivot_distances_per_query(
                 device, metric, objects, queries, next_q, pivots
             )
-            for qi, pid, dist in zip(next_q, pivots, next_pivot_dist):
-                pools.add(int(qi), int(pid), float(dist), exclude)
+            pools.add(next_q, pivots, next_pivot_dist)
 
         _descend(
             tree,
@@ -219,7 +265,7 @@ def _descend(
             next_q,
             child_ids,
             next_pivot_dist,
-            exclude,
+            tombstones,
             mode,
             pools,
         )
@@ -264,7 +310,8 @@ def batch_knn_query(
 
     device.transfer_to_device(num_queries * ENTRY_BYTES)
 
-    pools = _CandidatePools(num_queries, k_arr)
+    tombstones = tombstone_array(exclude)
+    pools = _CandidatePools(num_queries, k_arr, tombstones)
     cand_q = np.arange(num_queries, dtype=np.int64)
     cand_node = np.zeros(num_queries, dtype=np.int64)
 
@@ -275,9 +322,7 @@ def batch_knn_query(
         pivot_dist = pivot_distances_per_query(
             device, metric, objects, queries, cand_q, root_pivots
         )
-        root_pivot = int(tree.pivot[0])
-        for qi in cand_q:
-            pools.add(int(qi), root_pivot, float(pivot_dist[int(qi)]), exclude)
+        pools.add(cand_q, root_pivots, pivot_dist)
 
     _descend(
         tree,
@@ -289,9 +334,9 @@ def batch_knn_query(
         cand_q,
         cand_node,
         pivot_dist,
-        exclude,
+        tombstones,
         mode,
         pools,
     )
 
-    return [pools.topk(qi) for qi in range(num_queries)]
+    return pools.topk_all()

@@ -38,6 +38,7 @@ from ..metrics.base import Metric
 from ..metrics.registry import get_metric
 from .construction import BuildResult
 from .nodes import TreeStructure
+from .objectstore import ColumnarStore, make_object_store, rows_matrix
 
 __all__ = ["save_index", "load_index", "INDEX_FORMAT_VERSION"]
 
@@ -118,7 +119,10 @@ def save_index(index, path) -> Path:
         "cache_ids": np.asarray([oid for oid, _ in cache_items], dtype=np.int64),
     }
     if meta["objects_kind"] == "array":
-        arrays["objects_array"] = np.stack([np.asarray(o) for o in host_objects])
+        matrix = rows_matrix(host_objects)
+        if matrix is None:
+            matrix = np.stack([np.asarray(o) for o in host_objects])
+        arrays["objects_array"] = matrix
     else:
         # the trailing None stops NumPy from stacking uniform rows into a 2-d
         # array, keeping one object per slot for arbitrary (string, ...) data
@@ -130,7 +134,7 @@ def save_index(index, path) -> Path:
 
 def _objects_kind(objects) -> str:
     """"array" when every object is an identically-shaped NumPy row, else "list"."""
-    if isinstance(objects, np.ndarray):
+    if isinstance(objects, ColumnarStore) or isinstance(objects, np.ndarray):
         return "array"
     if objects and all(isinstance(o, np.ndarray) for o in objects):
         signatures = {(o.shape, o.dtype.str) for o in objects}
@@ -174,7 +178,8 @@ def load_index(path, metric: Optional[Metric] = None, device: Optional[Device] =
                 )
             metric = get_metric(key)
         if meta["objects_kind"] == "array":
-            objects = list(archive["objects_array"])
+            # re-create the contiguous columnar store (copies out of the npz)
+            objects = make_object_store(archive["objects_array"])
         else:
             objects = list(archive["objects_pickled"][:-1])
         tree = TreeStructure(

@@ -36,11 +36,16 @@ from .searchcommon import (
     RESULT_BYTES,
     IntermediateTable,
     PruneMode,
+    ResultTriples,
     broadcast_query_param,
+    leaf_candidate_segments,
+    leaf_prefetch_ids,
     level_pair_limit,
     pivot_distances_per_query,
     prune_children,
+    segmented_distances,
     split_into_groups,
+    tombstone_array,
 )
 
 __all__ = ["batch_range_query"]
@@ -55,46 +60,44 @@ def _verify_leaves(
     radii: np.ndarray,
     leaf_q: np.ndarray,
     leaf_node: np.ndarray,
-    exclude: Optional[set],
-    results: list[dict],
+    tombstones: Optional[np.ndarray],
+    results: ResultTriples,
 ) -> None:
-    """Compute real distances for every object in the surviving leaves."""
+    """Compute real distances for every object in the surviving leaves.
+
+    One fused pass: the surviving leaves' table-list slices are expanded into
+    per-query, id-sorted candidate segments, gathered once, and evaluated
+    with a single segmented distance call; qualifying hits land in the
+    triple-array accumulator.
+    """
     if len(leaf_q) == 0:
         return
     # Lookahead for tiered stores: the surviving leaves are the first stage's
     # candidate list, so their object blocks can be staged in one coalesced
-    # prefetch before verification touches them one by one.
+    # prefetch before verification gathers them.
     if getattr(objects, "prefetch_enabled", False):
-        objects.prefetch_ids(
-            np.concatenate([tree.node_objects(int(n)) for n in np.unique(leaf_node)])
-        )
-    order = np.argsort(leaf_q, kind="stable")
-    sorted_q = leaf_q[order]
-    unique_queries, starts = np.unique(sorted_q, return_index=True)
-    boundaries = list(starts) + [len(order)]
-    total_verified = 0
+        objects.prefetch_ids(leaf_prefetch_ids(tree, leaf_node))
     host_start = time.perf_counter()
+    unique_queries, boundaries, obj_ids = leaf_candidate_segments(
+        tree,
+        leaf_q,
+        leaf_node,
+        tombstones,
+        coalesce=getattr(objects, "coalesced_gather", False),
+    )
+    total_verified = len(obj_ids)
     total_hits = 0
-    for qi, query_index in enumerate(unique_queries):
-        idx = order[boundaries[qi] : boundaries[qi + 1]]
-        obj_ids = np.concatenate([tree.node_objects(int(n)) for n in leaf_node[idx]])
-        if exclude:
-            obj_ids = obj_ids[~np.isin(obj_ids, list(exclude))]
-        if len(obj_ids) == 0:
-            continue
-        # gather in id order: results are order-insensitive (keyed by id) and
-        # a sorted gather is block-coalesced, which is what a tiered store's
-        # paging behaviour should be measured against
-        obj_ids = np.sort(obj_ids)
-        candidates = take_objects(objects, obj_ids)
-        dists = metric.pairwise(queries[int(query_index)], candidates)
-        total_verified += len(obj_ids)
-        r = radii[int(query_index)]
-        hit = dists <= r
-        total_hits += int(hit.sum())
-        bucket = results[int(query_index)]
-        for oid, dist in zip(obj_ids[hit], dists[hit]):
-            bucket[int(oid)] = float(dist)
+    if total_verified:
+        # gather in id order per query: results are order-insensitive (keyed
+        # by id) and a sorted gather is block-coalesced, which is what a
+        # tiered store's paging behaviour should be measured against
+        query_objects = take_objects(queries, unique_queries)
+        dists = segmented_distances(metric, objects, query_objects, boundaries, obj_ids)
+        owner = np.repeat(unique_queries, np.diff(boundaries))
+        hit = dists <= radii[owner]
+        total_hits = int(hit.sum())
+        if total_hits:
+            results.add(owner[hit], obj_ids[hit], dists[hit])
     host = time.perf_counter() - host_start
     device.launch_kernel(
         work_items=total_verified,
@@ -123,16 +126,16 @@ def _descend(
     cand_q: np.ndarray,
     cand_node: np.ndarray,
     pivot_dist: np.ndarray,
-    exclude: Optional[set],
+    tombstones: Optional[np.ndarray],
     mode: PruneMode,
-    results: list[dict],
+    results: ResultTriples,
 ) -> None:
     """Recursive per-level expansion (the Range_Q function of Algorithm 4)."""
     if len(cand_q) == 0:
         return
     if tree.is_leaf_level(layer):
         _verify_leaves(
-            tree, objects, metric, device, queries, radii, cand_q, cand_node, exclude, results
+            tree, objects, metric, device, queries, radii, cand_q, cand_node, tombstones, results
         )
         return
 
@@ -152,7 +155,7 @@ def _descend(
                 cand_q[group],
                 cand_node[group],
                 pivot_dist[group],
-                exclude,
+                tombstones,
                 mode,
                 results,
             )
@@ -173,13 +176,10 @@ def _descend(
             next_pivot_dist = pivot_distances_per_query(
                 device, metric, objects, queries, next_q, pivots
             )
-            # A pivot is itself an indexed object: report it when it qualifies.
+            # A pivot is itself an indexed object: report it when it
+            # qualifies (tombstoned pivots are filtered by the accumulator).
             within = next_pivot_dist <= radii[next_q]
-            for qi, pid, dist in zip(
-                next_q[within], pivots[within], next_pivot_dist[within]
-            ):
-                if not exclude or int(pid) not in exclude:
-                    results[int(qi)][int(pid)] = float(dist)
+            results.add(next_q[within], pivots[within], next_pivot_dist[within])
 
         _descend(
             tree,
@@ -192,7 +192,7 @@ def _descend(
             next_q,
             child_ids,
             next_pivot_dist,
-            exclude,
+            tombstones,
             mode,
             results,
         )
@@ -232,9 +232,10 @@ def batch_range_query(
         raise QueryError("range query radius must be non-negative")
     mode = prune_mode if isinstance(prune_mode, PruneMode) else PruneMode.from_name(prune_mode)
 
-    results: list[dict] = [dict() for _ in range(num_queries)]
     if num_queries == 0 or tree.num_objects == 0:
         return [[] for _ in range(num_queries)]
+    tombstones = tombstone_array(exclude)
+    results = ResultTriples(num_queries, tombstones)
 
     # Load the queries onto the device (Section 5.1: queries are copied from
     # the CPU to the GPU before processing).
@@ -252,10 +253,7 @@ def batch_range_query(
             device, metric, objects, queries, cand_q, root_pivots
         )
         within = pivot_dist <= radii_arr
-        root_pivot = int(tree.pivot[0])
-        if not exclude or root_pivot not in exclude:
-            for qi in cand_q[within]:
-                results[int(qi)][root_pivot] = float(pivot_dist[int(qi)])
+        results.add(cand_q[within], root_pivots[within], pivot_dist[within])
 
     _descend(
         tree,
@@ -268,12 +266,9 @@ def batch_range_query(
         cand_q,
         cand_node,
         pivot_dist,
-        exclude,
+        tombstones,
         mode,
         results,
     )
 
-    out: list[list[tuple[int, float]]] = []
-    for bucket in results:
-        out.append(sorted(bucket.items(), key=lambda item: (item[1], item[0])))
-    return out
+    return results.finalize()

@@ -1,22 +1,32 @@
 """Shared machinery of the batch MRQ / MkNNQ algorithms.
 
-Both query algorithms (Sections 5.1 and 5.2) share three ingredients:
+Both query algorithms (Sections 5.1 and 5.2) share four ingredients:
 
 * computing the distances from each query to the pivots of its candidate
-  nodes — grouped per query so each call hits the metric's vectorised path;
+  nodes — evaluated as **one fused segmented pass** over all (query, pivot)
+  pairs of the level (:func:`pivot_distances_per_query` builds per-query
+  segments and hands them to ``Metric.pairwise_segmented``);
 * the **two-stage memory strategy**: before a level is expanded, the size of
   the next intermediate-result table is compared with the per-level memory
   limit ``size_GPU / ((h - layer + 1) * Nc)``; when it does not fit, the query
   batch is divided into groups processed sequentially;
 * tracking intermediate-result allocations on the simulated device so that
-  memory pressure has observable consequences.
+  memory pressure has observable consequences;
+* **triple-array result accumulation** (:class:`ResultTriples`): qualifying
+  ``(query, object, distance)`` hits are appended as flat arrays and turned
+  into the per-query sorted answer lists by one final ``np.lexsort``, instead
+  of per-hit Python dict inserts.
 
 The helpers here are pure functions over NumPy arrays, which keeps the two
-query modules small and the behaviour property-testable.
+query modules small and the behaviour property-testable.  Only the *host*
+evaluation strategy lives here — the simulated device-time accounting
+(kernel launches, work item counts, transfer flows) is byte-for-byte the
+same as the historical per-query implementation (DESIGN.md §8).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -24,18 +34,27 @@ import numpy as np
 
 from ..exceptions import MemoryDeadlockError, QueryError
 from ..gpusim.device import Device
-from ..gpusim.kernels import distance_kernel
 from ..metrics.base import Metric
-from .construction import take_objects
+from .construction import concatenated_ranges, take_objects
 from .nodes import TreeStructure
+from .objectstore import GATHER_CHUNK_ELEMENTS, object_dimension, store_metric_digest
 
 __all__ = [
     "ENTRY_BYTES",
     "PruneMode",
+    "ResultTriples",
     "broadcast_query_param",
+    "tombstone_array",
+    "tombstoned_mask",
+    "filter_live_triples",
+    "dedupe_min_triples",
+    "triples_to_answer_lists",
     "level_pair_limit",
     "split_into_groups",
     "pivot_distances_per_query",
+    "segmented_distances",
+    "leaf_candidate_segments",
+    "leaf_prefetch_ids",
     "prune_children",
     "IntermediateTable",
 ]
@@ -68,6 +87,140 @@ def broadcast_query_param(values, num_queries: int, name: str, dtype) -> np.ndar
             f"expected shape ({num_queries},), got shape {arr.shape}"
         )
     return np.broadcast_to(arr, (num_queries,)).copy()
+
+
+def tombstone_array(exclude: Optional[set]) -> Optional[np.ndarray]:
+    """Sorted int64 array of tombstoned ids, precomputed once per batch.
+
+    Replaces the per-group ``np.isin(obj_ids, list(exclude))`` pattern, which
+    rebuilt a Python list from the set on every query group.
+    """
+    if not exclude:
+        return None
+    return np.asarray(sorted(exclude), dtype=np.int64)
+
+
+def tombstoned_mask(obj_ids: np.ndarray, tombstones: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    """Boolean mask of the ids present in the sorted tombstone array.
+
+    ``searchsorted`` over the precomputed sorted array — equivalent to
+    ``np.isin`` but without re-sorting the tombstones per call.  Returns
+    None when nothing is tombstoned (the common case keeps zero overhead).
+    """
+    if tombstones is None or len(tombstones) == 0 or len(obj_ids) == 0:
+        return None
+    pos = np.searchsorted(tombstones, obj_ids)
+    pos = np.minimum(pos, len(tombstones) - 1)
+    return tombstones[pos] == obj_ids
+
+
+def filter_live_triples(query_indices, obj_ids, dists, tombstones):
+    """Normalise (query, id, dist) triples and drop tombstoned objects.
+
+    Returns the three aligned arrays, possibly empty — the shared add()
+    prologue of :class:`ResultTriples` and the MkNNQ candidate pools.
+    """
+    obj_ids = np.asarray(obj_ids, dtype=np.int64)
+    query_indices = np.asarray(query_indices, dtype=np.int64)
+    dists = np.asarray(dists, dtype=np.float64)
+    if len(obj_ids) == 0:
+        return query_indices, obj_ids, dists
+    dead = tombstoned_mask(obj_ids, tombstones)
+    if dead is not None and dead.any():
+        live = ~dead
+        query_indices, obj_ids, dists = query_indices[live], obj_ids[live], dists[live]
+    return query_indices, obj_ids, dists
+
+
+def triples_to_answer_lists(
+    qs: np.ndarray,
+    ids: np.ndarray,
+    dists: np.ndarray,
+    num_queries: int,
+    k: Optional[np.ndarray] = None,
+) -> list[list[tuple[int, float]]]:
+    """Turn (query, id, dist) triples into per-query (id, dist) answer lists.
+
+    One global ``(query, distance, id)`` lexsort, then per-query slices —
+    truncated to ``k[qi]`` entries when a per-query ``k`` array is given.
+    The shared finalisation of MRQ results and MkNNQ top-k extraction.
+    """
+    order = np.lexsort((ids, dists, qs))
+    qs, ids, dists = qs[order], ids[order], dists[order]
+    starts = np.searchsorted(qs, np.arange(num_queries, dtype=np.int64))
+    ends = np.searchsorted(qs, np.arange(1, num_queries + 1, dtype=np.int64))
+    id_list = ids.tolist()
+    dist_list = dists.tolist()
+    out = []
+    for qi in range(num_queries):
+        start = int(starts[qi])
+        end = int(ends[qi])
+        if k is not None:
+            end = min(end, start + int(k[qi]))
+        out.append(list(zip(id_list[start:end], dist_list[start:end])))
+    return out
+
+
+def dedupe_min_triples(
+    qs: np.ndarray, ids: np.ndarray, dists: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse duplicate (query, id) pairs to their minimum distance.
+
+    Returns the surviving triples sorted by (query, id).  Both query answer
+    finalisation and the MkNNQ pools use this; the engine only ever produces
+    equal distances for duplicates, so min matches the historical
+    last-write-wins dict semantics.
+    """
+    key = qs * (int(ids.max()) + 1) + ids
+    order = np.lexsort((dists, key))
+    key_sorted = key[order]
+    # first occurrence per key carries the minimum distance; ``keep`` is
+    # already in key order, i.e. sorted by (query, id)
+    keep = order[np.concatenate(([True], key_sorted[1:] != key_sorted[:-1]))]
+    return qs[keep], ids[keep], dists[keep]
+
+
+class ResultTriples:
+    """Batch result accumulation as flat ``(query, object, distance)`` arrays.
+
+    Every qualifying hit — leaf verification survivors, pivot self-reports —
+    is appended as aligned arrays; :meth:`finalize` produces the per-query
+    answer lists with one global ``np.lexsort``: duplicates of the same
+    (query, object) pair collapse to their minimum distance (the engine only
+    ever produces equal distances for duplicates, so this matches the
+    historical last-write-wins dict), and each query's survivors come out
+    sorted by ``(distance, object_id)``.
+    """
+
+    __slots__ = ("_num_queries", "_tombstones", "_qs", "_ids", "_dists")
+
+    def __init__(self, num_queries: int, tombstones: Optional[np.ndarray] = None):
+        self._num_queries = int(num_queries)
+        self._tombstones = tombstones
+        self._qs: list[np.ndarray] = []
+        self._ids: list[np.ndarray] = []
+        self._dists: list[np.ndarray] = []
+
+    def add(self, query_indices, obj_ids, dists) -> None:
+        """Append hit triples; tombstoned objects are filtered out here."""
+        query_indices, obj_ids, dists = filter_live_triples(
+            query_indices, obj_ids, dists, self._tombstones
+        )
+        if len(obj_ids) == 0:
+            return
+        self._qs.append(query_indices)
+        self._ids.append(obj_ids)
+        self._dists.append(dists)
+
+    def finalize(self) -> list[list[tuple[int, float]]]:
+        """Per-query ``(object_id, distance)`` lists sorted by (distance, id)."""
+        out: list[list[tuple[int, float]]] = [[] for _ in range(self._num_queries)]
+        if not self._qs:
+            return out
+        qs, ids, dists = dedupe_min_triples(
+            np.concatenate(self._qs), np.concatenate(self._ids), np.concatenate(self._dists)
+        )
+        return triples_to_answer_lists(qs, ids, dists, self._num_queries)
 
 
 @dataclass(frozen=True)
@@ -120,28 +273,40 @@ def split_into_groups(
     if limit_pairs <= 0:
         raise QueryError("limit_pairs must be positive")
     order = np.argsort(cand_query, kind="stable")
-    groups: list[list[int]] = []
-    current: list[int] = []
-    # walk pairs grouped by query id
-    unique_queries, starts = np.unique(cand_query[order], return_index=True)
-    boundaries = list(starts) + [len(order)]
-    for qi in range(len(unique_queries)):
-        idx = order[boundaries[qi] : boundaries[qi + 1]]
-        if len(idx) > limit_pairs:
+    sorted_q = cand_query[order]
+    # per-query segment boundaries of the sorted pair list (cumulative-sum
+    # form: one vectorised pass instead of per-pair Python bookkeeping)
+    change = np.flatnonzero(np.diff(sorted_q)) + 1
+    seg_starts = np.concatenate(([0], change))
+    seg_ends = np.concatenate((change, [len(order)]))
+    # greedy packing over whole-query segments; groups are recorded as index
+    # ranges into ``order`` and materialised with slices at the end
+    groups: list[list[tuple[int, int]]] = []
+    current: list[tuple[int, int]] = []
+    current_len = 0
+    for start, end in zip(seg_starts.tolist(), seg_ends.tolist()):
+        size = end - start
+        if size > limit_pairs:
             # flush current, then chunk this oversized query on its own
             if current:
                 groups.append(current)
-                current = []
-            for start in range(0, len(idx), limit_pairs):
-                groups.append(list(idx[start : start + limit_pairs]))
+                current, current_len = [], 0
+            for chunk in range(start, end, limit_pairs):
+                groups.append([(chunk, min(chunk + limit_pairs, end))])
             continue
-        if len(current) + len(idx) > limit_pairs and current:
+        if current_len + size > limit_pairs and current:
             groups.append(current)
-            current = []
-        current.extend(idx.tolist())
+            current, current_len = [], 0
+        current.append((start, end))
+        current_len += size
     if current:
         groups.append(current)
-    return [np.asarray(g, dtype=np.int64) for g in groups]
+    return [
+        order[g[0][0] : g[0][1]]
+        if len(g) == 1
+        else np.concatenate([order[s:e] for s, e in g])
+        for g in groups
+    ]
 
 
 def pivot_distances_per_query(
@@ -154,30 +319,28 @@ def pivot_distances_per_query(
 ) -> np.ndarray:
     """Distance from each candidate pair's query to the pair's node pivot.
 
-    The pairs are grouped by query index so that each query issues a single
-    vectorised ``pairwise`` call; device time is charged as one level-wide
-    kernel over all pairs (this is the paper's "compute the distances of all
-    nodes at the level simultaneously").
+    The pairs are grouped by query index into segments and evaluated with a
+    single fused ``Metric.pairwise_segmented`` call — one gather plus one
+    broadcast pass over all (query, pivot) pairs of the level; device time is
+    charged as one level-wide kernel over all pairs (this is the paper's
+    "compute the distances of all nodes at the level simultaneously").
     """
     out = np.empty(len(cand_query), dtype=np.float64)
     if len(cand_query) == 0:
         return out
     # Tiered stores: stage the level's pivot blocks in one coalesced prefetch
-    # before the per-query grouping touches them.
+    # before the segmented gather touches them.
     if getattr(objects, "prefetch_enabled", False):
         objects.prefetch_ids(pivot_ids)
     order = np.argsort(cand_query, kind="stable")
-    sorted_q = cand_query[order]
-    unique_queries, starts = np.unique(sorted_q, return_index=True)
-    boundaries = list(starts) + [len(order)]
-    import time as _time
-
-    host_start = _time.perf_counter()
-    for qi, query_index in enumerate(unique_queries):
-        idx = order[boundaries[qi] : boundaries[qi + 1]]
-        pivots = take_objects(objects, pivot_ids[idx])
-        out[idx] = metric.pairwise(queries[int(query_index)], pivots)
-    host = _time.perf_counter() - host_start
+    unique_queries, starts = np.unique(cand_query[order], return_index=True)
+    boundaries = np.append(starts, len(order))
+    host_start = time.perf_counter()
+    query_objects = take_objects(queries, unique_queries)
+    out[order] = segmented_distances(
+        metric, objects, query_objects, boundaries, pivot_ids[order]
+    )
+    host = time.perf_counter() - host_start
     device.launch_kernel(
         work_items=len(cand_query),
         op_cost=metric.unit_cost,
@@ -185,6 +348,121 @@ def pivot_distances_per_query(
         host_time=host,
     )
     return out
+
+
+def segmented_distances(
+    metric: Metric,
+    objects: Sequence,
+    query_objects: Sequence,
+    boundaries: np.ndarray,
+    obj_ids: np.ndarray,
+) -> np.ndarray:
+    """Gather candidate rows by id and evaluate the per-query segments.
+
+    The flat candidate list is processed in cache-sized chunks of whole
+    segments: each chunk is gathered (``take_objects`` — one columnar fancy
+    index, with tiered stores charging their block faults in the identical
+    order) and handed to ``Metric.pairwise_segmented`` while the gathered
+    rows are still cache-resident.  Segments larger than the chunk budget
+    are evaluated alone, which is exactly the cache-blocked shape of
+    per-query evaluation.  Chunking is invisible to the results and the
+    simulated device: only the host wall-clock changes.
+    """
+    n = len(obj_ids)
+    out = np.empty(n, dtype=np.float64)
+    if n == 0:
+        return out
+    num_segments = len(boundaries) - 1
+    dim = object_dimension(objects)
+    if dim is None:
+        # list store (strings, sets, ragged data): the metric loops per
+        # segment anyway and the "gather" is a view comprehension
+        rows = take_objects(objects, obj_ids)
+        out[:] = metric.pairwise_segmented(query_objects, rows, boundaries)
+        return out
+    # per-row auxiliaries (e.g. angular row norms), precomputed once per
+    # store generation and gathered alongside the rows
+    digest = store_metric_digest(objects, metric)
+    budget_rows = max(1, GATHER_CHUNK_ELEMENTS // max(1, dim))
+    seg = 0
+    while seg < num_segments:
+        end_seg = seg + 1
+        chunk_rows = int(boundaries[end_seg] - boundaries[seg])
+        while (
+            end_seg < num_segments
+            and chunk_rows + int(boundaries[end_seg + 1] - boundaries[end_seg]) <= budget_rows
+        ):
+            chunk_rows += int(boundaries[end_seg + 1] - boundaries[end_seg])
+            end_seg += 1
+        lo, hi = int(boundaries[seg]), int(boundaries[end_seg])
+        chunk_ids = obj_ids[lo:hi]
+        rows = take_objects(objects, chunk_ids)
+        out[lo:hi] = metric.pairwise_segmented(
+            query_objects[seg:end_seg],
+            rows,
+            boundaries[seg : end_seg + 1] - lo,
+            object_digest=None if digest is None else digest[chunk_ids],
+        )
+        seg = end_seg
+    return out
+
+
+def leaf_candidate_segments(
+    tree: TreeStructure,
+    leaf_q: np.ndarray,
+    leaf_node: np.ndarray,
+    tombstones: Optional[np.ndarray],
+    coalesce: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-query candidate segments of the surviving (query, leaf) pairs.
+
+    Expands every pair's leaf slice of the table list and drops tombstoned
+    ids.  With ``coalesce`` (any store whose gathers fault device blocks)
+    each query's candidates are additionally sorted by object id, so the
+    gather is block-coalesced per query — the order tiered paging is
+    measured against.  Resident stores skip that sort: distances are
+    per-row and every consumer (result triples, candidate pools) orders by
+    ``(distance, id)`` at the end, so candidate order cannot influence a
+    single output bit.
+
+    Returns ``(unique_queries, boundaries, obj_ids)``: segment ``i`` of the
+    flat ``obj_ids`` — rows ``boundaries[i]:boundaries[i + 1]`` — holds the
+    candidates of ``unique_queries[i]``.  Queries whose candidates were all
+    tombstoned produce no segment, exactly like the historical per-query
+    loop's ``continue``.
+    """
+    if len(leaf_q) and np.any(np.diff(leaf_q) < 0):
+        # engine invariants keep pair lists query-sorted; re-sort stably for
+        # direct (test) callers that pass arbitrary pair order
+        order = np.argsort(leaf_q, kind="stable")
+        leaf_q, leaf_node = leaf_q[order], leaf_node[order]
+    sizes = tree.size[leaf_node]
+    flat = concatenated_ranges(tree.pos[leaf_node], sizes)
+    obj_ids = tree.obj_ids[flat]
+    owner = np.repeat(leaf_q, sizes)
+    dead = tombstoned_mask(obj_ids, tombstones)
+    if dead is not None and dead.any():
+        live = ~dead
+        obj_ids, owner = obj_ids[live], owner[live]
+    if coalesce and len(obj_ids):
+        order = np.lexsort((obj_ids, owner))
+        obj_ids, owner = obj_ids[order], owner[order]
+    if len(owner) == 0:
+        return (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            obj_ids,
+        )
+    starts = np.concatenate(([0], np.flatnonzero(np.diff(owner)) + 1))
+    unique_queries = owner[starts]
+    boundaries = np.append(starts, len(owner))
+    return unique_queries, boundaries, obj_ids
+
+
+def leaf_prefetch_ids(tree: TreeStructure, leaf_node: np.ndarray) -> np.ndarray:
+    """Candidate ids of the distinct surviving leaves (prefetch lookahead)."""
+    nodes = np.unique(leaf_node)
+    return tree.obj_ids[concatenated_ranges(tree.pos[nodes], tree.size[nodes])]
 
 
 def prune_children(

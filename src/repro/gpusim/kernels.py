@@ -5,6 +5,9 @@ device-time charge so that callers cannot forget one half.  They model the
 handful of primitives GTS and the GPU baselines need:
 
 * :func:`distance_kernel` — one query (or pivot) against a block of objects;
+* :func:`segmented_distance_kernel` — a batch of queries against per-query
+  segments of one flat candidate sequence (the fused level-wide shape the
+  GTS batch engine runs on);
 * :func:`distance_matrix_kernel` — a full cross-distance table;
 * :func:`elementwise_kernel` — generic per-element transforms (encoding,
   decoding, normalisation, filtering);
@@ -27,6 +30,7 @@ from .device import Device
 
 __all__ = [
     "distance_kernel",
+    "segmented_distance_kernel",
     "distance_matrix_kernel",
     "elementwise_kernel",
     "sort_kernel",
@@ -45,6 +49,30 @@ def distance_kernel(
     """Compute ``d(query, o)`` for every object in parallel on the device."""
     start = time.perf_counter()
     dists = metric.pairwise(query, objects)
+    host = time.perf_counter() - start
+    device.launch_kernel(
+        work_items=len(objects), op_cost=metric.unit_cost, label=label, host_time=host
+    )
+    return dists
+
+
+def segmented_distance_kernel(
+    device: Device,
+    metric: Metric,
+    queries: Sequence,
+    objects: Sequence,
+    segment_boundaries,
+    label: str = "segmented-distance",
+) -> np.ndarray:
+    """Evaluate per-query candidate segments of one flat object sequence.
+
+    The fused batch shape: segment ``i`` of ``objects`` (rows
+    ``segment_boundaries[i]:segment_boundaries[i + 1]``) is evaluated against
+    ``queries[i]``, all in one ``Metric.pairwise_segmented`` pass; device
+    time is charged as a single kernel over every (query, candidate) pair.
+    """
+    start = time.perf_counter()
+    dists = metric.pairwise_segmented(queries, objects, segment_boundaries)
     host = time.perf_counter() - start
     device.launch_kernel(
         work_items=len(objects), op_cost=metric.unit_cost, label=label, host_time=host

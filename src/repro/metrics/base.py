@@ -19,6 +19,14 @@ A :class:`Metric` exposes three granularities of evaluation:
 ``pairwise`` and ``matrix`` have generic implementations in terms of
 ``distance`` but concrete metrics override them with vectorised NumPy code.
 
+``pairwise_segmented(queries, objects, boundaries)``
+    the **fused segmented kernel** shape: one flat candidate sequence shared
+    by a whole query batch, partitioned into per-query segments by an offsets
+    array.  This is how the batch MRQ/MkNNQ engine evaluates an entire tree
+    level in one call — vector metrics answer it with a single gather +
+    broadcast pass over all (query, candidate) pairs, while string/set
+    metrics fall back to a per-segment loop.
+
 Every call is counted.  Distance computations are the currency of metric
 similarity search — the paper's efficiency claims boil down to "GTS computes
 far fewer distances and evaluates the rest with massive parallelism" — so the
@@ -113,6 +121,69 @@ class Metric:
         self.counter.record(len(xs) * len(ys))
         return np.asarray(self._matrix(xs, ys), dtype=np.float64)
 
+    def store_digest(self, matrix: np.ndarray):
+        """Per-object auxiliary values reusable across every query batch.
+
+        FAISS-style precomputation hook: called once per object store (and
+        cached by the store), the result is gathered alongside the candidate
+        rows and passed to :meth:`pairwise_segmented` as ``object_digest``.
+        The digest must be a per-row function of the object data so that a
+        gathered slice of the digest equals the digest of the gathered rows
+        bit for bit — e.g. :class:`~repro.metrics.vector.AngularDistance`
+        caches each row's L2 norm.  Returns None (no digest) by default.
+        """
+        return None
+
+    def pairwise_segmented(
+        self,
+        queries: Sequence[Any],
+        objects: Sequence[Any],
+        segment_boundaries,
+        object_digest=None,
+    ) -> np.ndarray:
+        """Evaluate per-query candidate segments of one flat object sequence.
+
+        ``segment_boundaries`` is an int offsets array of length
+        ``len(queries) + 1``: segment ``i`` is ``objects[b[i]:b[i + 1]]`` and
+        is evaluated against ``queries[i]``.  Returns the flat distance
+        vector aligned with ``objects`` — exactly
+        ``concatenate([pairwise(q_i, segment_i)])``, but computed (for
+        vector metrics) as a single gather + broadcast pass over every
+        (query, candidate) pair, which is what makes level-wide batch
+        evaluation run at NumPy speed.
+
+        ``object_digest``, when given, is the :meth:`store_digest` slice
+        aligned with ``objects`` — metrics that can exploit it (cached norms)
+        do so without changing a single bit of the result; everyone else
+        ignores it.
+
+        The whole call counts as **one** metric invocation covering
+        ``len(objects)`` pairs (``counter.pairs`` is unchanged relative to
+        per-query evaluation; ``counter.calls`` counts the fused call).
+        """
+        boundaries = np.asarray(segment_boundaries, dtype=np.int64)
+        if boundaries.ndim != 1 or len(boundaries) != len(queries) + 1:
+            raise MetricError(
+                f"segment_boundaries must be a flat offsets array of length "
+                f"len(queries) + 1 = {len(queries) + 1}, got shape {boundaries.shape}"
+            )
+        if len(boundaries) and (boundaries[0] != 0 or boundaries[-1] != len(objects)):
+            raise MetricError(
+                f"segment_boundaries must start at 0 and end at len(objects) = "
+                f"{len(objects)}, got [{boundaries[0] if len(boundaries) else ''}, "
+                f"{boundaries[-1] if len(boundaries) else ''}]"
+            )
+        if np.any(np.diff(boundaries) < 0):
+            raise MetricError("segment_boundaries must be non-decreasing")
+        n = len(objects)
+        if n == 0:
+            return np.zeros(0, dtype=np.float64)
+        self.counter.record(n)
+        return np.asarray(
+            self._pairwise_segmented(queries, objects, boundaries, object_digest),
+            dtype=np.float64,
+        )
+
     def reset_counter(self) -> None:
         """Zero the distance-evaluation counters."""
         self.counter.reset()
@@ -133,6 +204,19 @@ class Metric:
         out = np.empty((len(xs), len(ys)), dtype=np.float64)
         for i, x in enumerate(xs):
             out[i, :] = self._pairwise(x, ys)
+        return out
+
+    def _pairwise_segmented(
+        self, queries, objects, boundaries: np.ndarray, object_digest=None
+    ) -> np.ndarray:
+        # Generic fallback: one _pairwise call per non-empty segment.  String
+        # and set metrics inherit this loop; vector metrics override it with
+        # a single broadcast pass.  The digest is unused here.
+        out = np.empty(int(boundaries[-1]), dtype=np.float64)
+        for qi in range(len(queries)):
+            start, end = int(boundaries[qi]), int(boundaries[qi + 1])
+            if end > start:
+                out[start:end] = self._pairwise(queries[qi], objects[start:end])
         return out
 
     # ----------------------------------------------------------- validation

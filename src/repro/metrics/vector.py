@@ -62,6 +62,54 @@ class _VectorMetric(Metric):
     def _observe_dimension(self, dim: int) -> None:
         self.unit_cost = max(1.0, self.ops_per_dimension * int(dim))
 
+    #: Average segment size (in matrix elements, ``rows * dim``) below which
+    #: the fully fused single-pass evaluation beats per-segment slicing.
+    #: Small segments are dominated by per-call overhead (fuse them); large
+    #: segments stay cache-resident when processed one at a time, while the
+    #: fused pass would stream multi-hundred-MB temporaries through memory.
+    #: Both strategies compute the identical row-wise formula, so the choice
+    #: never changes a single bit of the result (DESIGN.md §8).
+    fused_segment_elements = 4096
+
+    def _pairwise_segmented(self, queries, objects, boundaries, object_digest=None) -> np.ndarray:
+        total = int(boundaries[-1])
+        num_segments = max(1, len(queries))
+        dim = len(queries[0]) if len(queries) else 0
+        if total * dim > num_segments * self.fused_segment_elements:
+            # big segments: per-segment slices of the gathered matrix (cache-
+            # friendly, and the slices are views — no per-object Python work)
+            return self._segment_loop(queries, objects, boundaries, object_digest)
+        return self._fused_segmented(queries, objects, boundaries, object_digest)
+
+    def _segment_loop(self, queries, objects, boundaries, object_digest) -> np.ndarray:
+        out = np.empty(int(boundaries[-1]), dtype=np.float64)
+        for qi in range(len(queries)):
+            start, end = int(boundaries[qi]), int(boundaries[qi + 1])
+            if end > start:
+                digest = None if object_digest is None else object_digest[start:end]
+                out[start:end] = self._segment_pairwise(queries[qi], objects[start:end], digest)
+        return out
+
+    def _segment_pairwise(self, query, objects, digest) -> np.ndarray:
+        # One segment of the loop strategy; metrics with a store digest
+        # override this to reuse it.
+        return self._pairwise(query, objects)
+
+    def _segment_matrices(self, queries, objects, boundaries):
+        """Validate and expand one (queries, objects, boundaries) triple.
+
+        Returns ``(objects_matrix, queries_repeated)`` where the queries
+        matrix has been repeated to object alignment — after this, every
+        vector metric is a plain row-wise formula over the two matrices,
+        bitwise-identical to the per-query ``_pairwise`` evaluation.
+        """
+        qmat = _as_matrix(queries)
+        mat = _as_matrix(objects)
+        if mat.shape[1] != qmat.shape[1]:
+            raise MetricError(f"dimension mismatch: {qmat.shape[1]} vs {mat.shape[1]}")
+        self._observe_dimension(qmat.shape[1])
+        return mat, np.repeat(qmat, np.diff(boundaries), axis=0)
+
     def validate_objects(self, objects: Sequence) -> None:
         super().validate_objects(objects)
         if len(objects) == 0:
@@ -100,6 +148,17 @@ class MinkowskiDistance(_VectorMetric):
             raise MetricError(f"dimension mismatch: {q.shape[0]} vs {mat.shape[1]}")
         self._observe_dimension(q.shape[0])
         diff = np.abs(mat - q[None, :])
+        if np.isinf(self.p):
+            return diff.max(axis=1)
+        return np.sum(diff ** self.p, axis=1) ** (1.0 / self.p)
+
+    def _fused_segmented(self, queries, objects, boundaries, object_digest=None) -> np.ndarray:
+        # One fused pass over every (query, candidate) pair of the batch.
+        # Row-wise, this is exactly the _pairwise formula, so results are
+        # bitwise-identical to per-query evaluation.  Lp norms have no
+        # cacheable per-row term; the digest is unused.
+        mat, qrep = self._segment_matrices(queries, objects, boundaries)
+        diff = np.abs(mat - qrep)
         if np.isinf(self.p):
             return diff.max(axis=1)
         return np.sum(diff ** self.p, axis=1) ** (1.0 / self.p)
@@ -190,6 +249,50 @@ class AngularDistance(_VectorMetric):
             raise MetricError(f"dimension mismatch: {q.shape[0]} vs {mat.shape[1]}")
         self._observe_dimension(q.shape[0])
         cos = self._cosine(mat, q[None, :])
+        return np.arccos(cos) / np.pi
+
+    def store_digest(self, matrix: np.ndarray) -> np.ndarray:
+        """Per-row L2 norms — the ``na`` term of every cosine, cached once.
+
+        ``np.linalg.norm(..., axis=-1)`` reduces each row independently, so a
+        gathered slice of this digest is bit-identical to computing the norms
+        of the gathered rows on the fly.
+        """
+        return np.linalg.norm(np.asarray(matrix, dtype=np.float64), axis=-1)
+
+    @staticmethod
+    def _cosine_with_norms(a: np.ndarray, b: np.ndarray, na: np.ndarray) -> np.ndarray:
+        # _cosine with the object norms supplied (same ops, same bits)
+        nb = np.linalg.norm(b, axis=-1)
+        denom = na * nb
+        denom = np.where(denom == 0.0, 1.0, denom)
+        cos = np.sum(a * b, axis=-1) / denom
+        return np.clip(cos, -1.0, 1.0)
+
+    def _segment_pairwise(self, query, objects, digest) -> np.ndarray:
+        if digest is None:
+            return self._pairwise(query, objects)
+        q = _as_vector(query)
+        mat = _as_matrix(objects)
+        if mat.shape[1] != q.shape[0]:
+            raise MetricError(f"dimension mismatch: {q.shape[0]} vs {mat.shape[1]}")
+        self._observe_dimension(q.shape[0])
+        cos = self._cosine_with_norms(mat, q[None, :], digest)
+        return np.arccos(cos) / np.pi
+
+    def _fused_segmented(self, queries, objects, boundaries, object_digest=None) -> np.ndarray:
+        # Fused pass: norms and dot products are row-wise, so expanding the
+        # query terms to object alignment keeps the arithmetic
+        # bitwise-identical to _pairwise.  Object norms come from the store
+        # digest when available; query norms are computed once per query and
+        # repeated as scalars (never as full rows).
+        mat, qrep = self._segment_matrices(queries, objects, boundaries)
+        counts = np.diff(boundaries)
+        na = object_digest if object_digest is not None else np.linalg.norm(mat, axis=-1)
+        nb = np.repeat(np.linalg.norm(_as_matrix(queries), axis=-1), counts)
+        denom = na * nb
+        denom = np.where(denom == 0.0, 1.0, denom)
+        cos = np.clip(np.sum(mat * qrep, axis=-1) / denom, -1.0, 1.0)
         return np.arccos(cos) / np.pi
 
     def _matrix(self, xs, ys) -> np.ndarray:

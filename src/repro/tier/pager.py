@@ -315,6 +315,21 @@ class BlockPager:
         self.stats.h2d_seconds += elapsed
         return False
 
+    def access_counted(self, block_id: int, count: int) -> bool:
+        """Fault once for a run of ``count`` consecutive same-block accesses.
+
+        Behaviourally identical to calling :meth:`access` ``count`` times in
+        a row: after the first access the block is resident and nothing else
+        intervenes, so the remaining ``count - 1`` accesses would each be
+        plain hits whose policy touches are no-ops.  They are credited to the
+        hit counter in bulk, which is what lets a columnar gather replace the
+        per-object access loop without changing any pager statistic.
+        """
+        hit = self.access(block_id)
+        if count > 1:
+            self.stats.hits += count - 1
+        return hit
+
     def prefetch(self, block_ids: Iterable[int]) -> int:
         """Stage the missing blocks of a candidate set in one transaction.
 

@@ -24,6 +24,7 @@ from typing import Iterator, Optional, Sequence
 import numpy as np
 
 from ..core.construction import objects_nbytes
+from ..core.objectstore import gather_rows
 from ..exceptions import TierError
 
 __all__ = ["TieredObjectStore", "PagedObjects"]
@@ -106,7 +107,12 @@ class TieredObjectStore:
         """Append one object to the host store; returns the tail block id."""
         if isinstance(self._objects, np.ndarray):
             raise TierError("cannot append to an array-backed store; use a list store")
+        row_nbytes_before = getattr(self._objects, "row_nbytes", None)
         self._objects.append(obj)
+        if row_nbytes_before is not None and self._objects.row_nbytes != row_nbytes_before:
+            # a columnar store promoted its dtype to hold the new row
+            # exactly: every block's payload size changed
+            self._block_nbytes_cache.clear()
         tail = self.block_of(len(self._objects) - 1)
         self._block_nbytes_cache.pop(tail, None)
         return tail
@@ -122,6 +128,10 @@ class PagedObjects:
     objects are the host objects themselves — the simulation only accounts
     for the staging traffic, it never copies data for real.
     """
+
+    #: Gathers fault device blocks, so callers should present candidate ids
+    #: in per-query sorted order (block-coalesced access).
+    coalesced_gather = True
 
     def __init__(self, store: TieredObjectStore, pager):
         self.store = store
@@ -144,6 +154,34 @@ class PagedObjects:
         for obj_id in range(len(self)):
             yield self[obj_id]
 
+    def gather(self, obj_ids) -> Sequence:
+        """Columnar block gather: fault the owning blocks, then gather rows.
+
+        The device-side accounting is identical to indexing the facade once
+        per id — one logical pager access per object — but consecutive
+        accesses to the same block collapse into a single policy touch with
+        the remaining accesses credited as hits in bulk, and the host-side
+        row materialisation is one columnar gather instead of a per-object
+        Python loop.  This is the fast path ``take_objects`` rides for every
+        level-wide candidate gather of a tiered index.
+        """
+        ids = np.asarray(obj_ids, dtype=np.int64)
+        if len(ids) == 0:
+            return gather_rows(self.store.raw, ids)
+        lo, hi = int(ids.min()), int(ids.max())
+        if lo < 0 or hi >= len(self.store):
+            raise TierError(
+                f"object id {lo if lo < 0 else hi} outside the store "
+                f"(size {len(self.store)})"
+            )
+        blocks = ids // self.store.objects_per_block
+        change = np.flatnonzero(np.diff(blocks)) + 1
+        run_starts = np.concatenate(([0], change))
+        run_lengths = np.diff(np.concatenate((run_starts, [len(blocks)])))
+        for start, length in zip(run_starts.tolist(), run_lengths.tolist()):
+            self.pager.access_counted(int(blocks[start]), length)
+        return gather_rows(self.store.raw, ids)
+
     # ----------------------------------------------------------- host-side
     @property
     def raw(self) -> Sequence:
@@ -151,9 +189,23 @@ class PagedObjects:
         return self.store.raw
 
     def append(self, obj) -> None:
-        """Append to the host store; a stale resident tail block is invalidated."""
+        """Append to the host store; stale resident blocks are invalidated.
+
+        Normally only the tail block can be stale, but a columnar store may
+        promote its dtype to hold the new row exactly — a host-side rewrite
+        of *every* row — in which case every resident block's device copy
+        (and its byte accounting) is stale and must be dropped.
+        """
+        row_nbytes_before = getattr(self.store.raw, "row_nbytes", None)
         tail = self.store.append(obj)
-        self.pager.invalidate(tail)
+        if (
+            row_nbytes_before is not None
+            and getattr(self.store.raw, "row_nbytes", None) != row_nbytes_before
+        ):
+            for block_id in list(self.pager.resident_blocks):
+                self.pager.invalidate(block_id)
+        else:
+            self.pager.invalidate(tail)
 
     # ------------------------------------------------------------ prefetch
     @property
