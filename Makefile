@@ -4,6 +4,8 @@
 #   make bench-smoke  fast benchmark smoke run (reduced scale, quick figures)
 #   make bench        full benchmark harness (all paper figures/tables)
 #   make profile      cProfile a standard serve-sim workload (top-20 by cumtime)
+#   make profile-updates  cProfile an update-heavy serve-sim workload with
+#                     non-blocking maintenance enabled (top-20 by cumtime)
 #   make lint         byte-compile every source tree (no linter is vendored)
 #   make example      run the quickstart end to end
 #   make examples     run every example script (the CI smoke job)
@@ -16,7 +18,7 @@ PYTHON      ?= python
 PYTHONPATH  := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test bench-smoke bench profile lint example examples
+.PHONY: test bench-smoke bench profile profile-updates lint example examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,7 +34,8 @@ bench-smoke:
 		benchmarks/bench_service_throughput.py \
 		benchmarks/bench_sharding.py \
 		benchmarks/bench_memory_tiering.py \
-		benchmarks/bench_host_wallclock.py
+		benchmarks/bench_host_wallclock.py \
+		benchmarks/bench_update_path.py
 
 # bench_*.py does not match pytest's default test-file pattern, so the files
 # must be named explicitly (a bare `pytest benchmarks` collects nothing).
@@ -47,6 +50,16 @@ profile:
 		--dataset vector --cardinality 6000 --clients 8 --rate 200000 \
 		--duration 4e-3 --max-batch 128
 	$(PYTHON) -c "import pstats; pstats.Stats('profile.out').sort_stats('cumulative').print_stats(20)"
+
+# Profile the update path: an insert-heavy stream over a small cache with
+# non-blocking generation-swap maintenance, so rebuild slices show up in the
+# profile instead of monolithic stop-the-world builds.
+profile-updates:
+	$(PYTHON) -m cProfile -o profile_updates.out -m repro.cli serve-sim \
+		--dataset tloc --cardinality 8000 --clients 8 --rate 200000 \
+		--duration 4e-3 --max-batch 128 --update-heavy --cache-kb 0.5 \
+		--maintenance
+	$(PYTHON) -c "import pstats; pstats.Stats('profile_updates.out').sort_stats('cumulative').print_stats(20)"
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

@@ -77,7 +77,7 @@ def main() -> None:
     for read in new_reads:
         index.insert(read)
     print(f"streamed {len(new_reads)} new reads in; index now holds {len(index)} reads "
-          f"(rebuilds triggered: {index.rebuild_count})")
+          f"(automatic rebuilds triggered: {index.automatic_rebuild_count})")
 
 
 if __name__ == "__main__":

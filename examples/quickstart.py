@@ -61,7 +61,7 @@ def main() -> None:
     new_id = index.insert(np.array([500.0, 500.0]))
     index.delete(new_id)
     print(f"streaming insert+delete processed; cache size = {index.cache_size}, "
-          f"rebuilds so far = {index.rebuild_count}")
+          f"automatic rebuilds so far = {index.automatic_rebuild_count}")
 
     # --- the cost model's node-capacity recommendation
     recommended = index.recommend_node_capacity(radius=1.0)

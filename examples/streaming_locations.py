@@ -68,7 +68,7 @@ def run_feed(cache_bytes: int, ticks: int = 50, seed: int = 3) -> dict:
         "cache_bytes": cache_bytes,
         "updates": update_ops,
         "queries": query_count,
-        "rebuilds": index.rebuild_count,
+        "rebuilds": index.automatic_rebuild_count,
         "sim_seconds": elapsed,
         "per_op_us": elapsed / (update_ops + query_count) * 1e6,
     }

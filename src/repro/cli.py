@@ -75,6 +75,7 @@ EXPERIMENT_REGISTRY = {
     "extended-baselines": _extensions.experiment_extended_baselines,
     "approx-tradeoff": _extensions.experiment_approximate_tradeoff,
     "service-batching": _service_experiment.experiment_service_batching,
+    "update-heavy-serving": _service_experiment.experiment_update_heavy_serving,
     "sharding-scaleout": _shard_experiment.experiment_sharding_scaleout,
     "memory-tiering": _tier_experiment.experiment_memory_tiering,
 }
@@ -161,6 +162,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--prefetch", action="store_true",
         help="coalesce block faults via candidate-list lookahead prefetch",
+    )
+    p_serve.add_argument(
+        "--maintenance", action="store_true",
+        help="non-blocking updates: cache overflows schedule generation-swap "
+        "rebuilds advanced in bounded slices between micro-batches (DESIGN.md §9)",
+    )
+    p_serve.add_argument(
+        "--update-heavy", action="store_true",
+        help="use the update-heavy request mix (50%% inserts) instead of the "
+        "query-heavy default",
+    )
+    p_serve.add_argument(
+        "--cache-kb", type=float, default=None,
+        help="cache-table budget in KB (default: the paper's ~5 KB)",
     )
     p_serve.add_argument("--clients", type=int, default=6, help="number of simulated clients (default 6)")
     p_serve.add_argument(
@@ -311,8 +326,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
-    from .service import GTSService, WorkloadSpec, generate_workload, summarize
-    from .service.experiment import HOLDOUT_FRACTION, sequential_replay
+    from .core.gts import DEFAULT_CACHE_BYTES
+    from .service import GTSService, MaintenanceHook, WorkloadSpec, generate_workload, summarize
+    from .service.experiment import HOLDOUT_FRACTION, UPDATE_HEAVY_MIX, sequential_replay
+    from .service.workload import DEFAULT_MIX
 
     dataset = get_dataset(args.dataset, cardinality=args.cardinality, seed=args.seed)
     num_indexed = max(2, int(dataset.cardinality * (1.0 - HOLDOUT_FRACTION)))
@@ -334,6 +351,9 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
               f"{args.eviction} eviction, blocks {args.block_kb} KB"
               f"{', prefetch' if args.prefetch else ''}")
 
+    cache_bytes = (
+        DEFAULT_CACHE_BYTES if args.cache_kb is None else max(1, int(args.cache_kb * 1024))
+    )
     if args.shards > 1:
         index = ShardedGTS.build(
             dataset.objects[:num_indexed],
@@ -341,6 +361,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             num_shards=args.shards,
             assignment=args.shard_policy,
             node_capacity=args.node_capacity,
+            cache_capacity_bytes=cache_bytes,
             seed=args.seed,
             tier=tier,
         )
@@ -351,6 +372,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             dataset.objects[:num_indexed],
             dataset.metric,
             node_capacity=args.node_capacity,
+            cache_capacity_bytes=cache_bytes,
             seed=args.seed,
             tier=tier,
         )
@@ -358,6 +380,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         num_clients=args.clients,
         rate_per_client=args.rate,
         duration=args.duration,
+        mix=dict(UPDATE_HEAVY_MIX if args.update_heavy else DEFAULT_MIX),
         radius=radius,
         k=args.k,
         deadline=args.deadline,
@@ -369,17 +392,28 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
           f"({counts})")
 
     policy_kwargs = {"max_batch_size": args.max_batch, "max_wait": args.max_wait}
-    service = GTSService(index, policy=make_policy(args.policy, **policy_kwargs))
+    service = GTSService(
+        index,
+        policy=make_policy(args.policy, **policy_kwargs),
+        maintenance=MaintenanceHook() if args.maintenance else None,
+    )
     if tier is not None:
         # report steady-state serving traffic, not the build's streaming pass
         for shard in index.shards if args.shards > 1 else [index]:
             shard.pager.stats.reset()
         serve_snapshot = index.device.snapshot()
     responses = service.serve(workload.requests)
-    report = summarize(responses, service.batches)
+    report = summarize(responses, service.batches, service.maintenance_records)
     print(f"policy     : {args.policy} (max batch {args.max_batch}, "
-          f"max wait {args.max_wait * 1e6:.0f} us)")
+          f"max wait {args.max_wait * 1e6:.0f} us"
+          f"{', non-blocking maintenance' if args.maintenance else ''})")
     print(report.to_text(title=f"{args.policy} policy on {dataset.name}"))
+    if args.maintenance:
+        print(f"maintenance: {report.num_maintenance_slices} slices, "
+              f"{report.rebuilds_completed} generation swaps, "
+              f"{report.maintenance_time * 1e3:.3f} ms total "
+              f"(max slice {report.max_slice_time * 1e6:.1f} us); "
+              f"automatic rebuilds {index.automatic_rebuild_count}")
 
     if tier is not None:
         if args.shards > 1:
@@ -399,6 +433,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             dataset.objects[:num_indexed],
             dataset.metric,
             node_capacity=args.node_capacity,
+            cache_capacity_bytes=cache_bytes,
             seed=args.seed,
         )
         expected = sequential_replay(oracle, workload.requests)

@@ -13,6 +13,7 @@ from .cost_model import (
 from .encoding import decode_distances, encode_distances
 from .gts import GTS
 from .knn_query import batch_knn_query
+from .maintenance import IncrementalMaintenance, MaintenanceConfig, SliceReport
 from .multimetric import MultiColumnGTS
 from .nodes import TreeStructure, level_size, level_start, total_nodes, tree_height
 from .objectstore import ColumnarStore, make_object_store
@@ -35,6 +36,9 @@ __all__ = [
     "batch_range_query",
     "batch_knn_query",
     "CacheTable",
+    "MaintenanceConfig",
+    "IncrementalMaintenance",
+    "SliceReport",
     "PruneMode",
     "encode_distances",
     "decode_distances",

@@ -14,7 +14,16 @@ streaming changes in a small, contiguous **cache table**:
   cleared (the paper's "peak-valley" strategy).
 
 This module implements the cache table and its brute-force query path; the
-rebuild policy lives in :class:`repro.core.gts.GTS`.
+rebuild policy lives in :class:`repro.core.gts.GTS` (blocking) and
+:mod:`repro.core.maintenance` (generation-swap).
+
+The scan path comes in two shapes.  The per-query :meth:`CacheTable.range_scan`
+/ :meth:`CacheTable.knn_scan` launch one ``cache-scan`` kernel each; the
+batched :meth:`CacheTable.range_scan_batch` / :meth:`CacheTable.knn_scan_batch`
+evaluate a whole query batch against the cache with **one** fused kernel via
+``Metric.pairwise_segmented`` over a columnar snapshot of the cached payload
+(rebuilt lazily after mutations), returning per-query answers identical to
+the per-query scans.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from ..exceptions import UpdateError
 from ..gpusim.device import Allocation, Device
 from ..metrics.base import Metric
 from .construction import objects_nbytes
+from .searchcommon import topk_by_distance
 
 __all__ = ["CacheTable"]
 
@@ -56,6 +66,9 @@ class CacheTable:
         self._objects: dict[int, object] = {}
         self._used_bytes = 0
         self._allocation: Optional[Allocation] = None
+        # lazily built (ids, payload) snapshot the batched scans gather from;
+        # any mutation drops it
+        self._payload: Optional[tuple] = None
         if device is not None:
             self._allocation = device.allocate(self.capacity_bytes, "gts-cache-table")
 
@@ -89,13 +102,35 @@ class CacheTable:
         return max(1, objects_nbytes([obj]))
 
     # ------------------------------------------------------------- mutations
+    def ensure_fits(self, obj) -> None:
+        """Reject an object that alone exceeds the whole cache budget.
+
+        Such an object could never be folded out by a rebuild without the
+        cache immediately overflowing again on the next insert, so it is
+        refused up front with :class:`~repro.exceptions.UpdateError`.
+        """
+        size = self._object_size(obj)
+        if size > self.capacity_bytes:
+            raise UpdateError(
+                f"object of {size} bytes exceeds the whole cache table budget "
+                f"of {self.capacity_bytes} bytes; raise cache_capacity_bytes "
+                "or use batch_update() for oversized objects"
+            )
+
     def insert(self, obj_id: int, obj) -> None:
-        """Buffer a newly inserted object (O(1))."""
+        """Buffer a newly inserted object (O(1)).
+
+        Raises :class:`~repro.exceptions.UpdateError` when the object alone
+        exceeds ``capacity_bytes`` (see :meth:`ensure_fits`) or the id is
+        already buffered.
+        """
         obj_id = int(obj_id)
         if obj_id in self._objects:
             raise UpdateError(f"object {obj_id} is already buffered in the cache table")
+        self.ensure_fits(obj)
         self._objects[obj_id] = obj
         self._used_bytes += self._object_size(obj)
+        self._payload = None
 
     def remove(self, obj_id: int) -> bool:
         """Remove a buffered object; returns False when it is not buffered."""
@@ -103,12 +138,14 @@ class CacheTable:
         if obj is None:
             return False
         self._used_bytes -= self._object_size(obj)
+        self._payload = None
         return True
 
     def clear(self) -> None:
         """Drop every buffered object (after a rebuild)."""
         self._objects.clear()
         self._used_bytes = 0
+        self._payload = None
 
     def release(self) -> None:
         """Free the device allocation backing the cache table."""
@@ -147,20 +184,123 @@ class CacheTable:
         k: int,
         device: Optional[Device] = None,
     ) -> list[tuple[int, float]]:
-        """Brute-force kNN scan of the cache table (parallel on the device)."""
+        """Brute-force kNN scan of the cache table (parallel on the device).
+
+        The top-k extraction partitions on the k-th distance instead of
+        fully sorting the cache (``np.argpartition`` + a sort of the
+        survivors only), with ties broken by object id exactly as before.
+        """
         if not self._objects or k <= 0:
             return []
-        ids = list(self._objects)
+        ids = np.fromiter(self._objects, count=len(self._objects), dtype=np.int64)
         start = time.perf_counter()
-        dists = metric.pairwise(query, [self._objects[i] for i in ids])
+        dists = metric.pairwise(query, list(self._objects.values()))
         host = time.perf_counter() - start
         dev = device or self._device
         if dev is not None:
             dev.launch_kernel(
                 work_items=len(ids), op_cost=metric.unit_cost, label="cache-scan", host_time=host
             )
-        ranked = sorted(zip(ids, dists), key=lambda item: (item[1], item[0]))
-        return [(int(oid), float(d)) for oid, d in ranked[:k]]
+        top = topk_by_distance(ids, dists, int(k))
+        return [(int(ids[i]), float(dists[i])) for i in top]
+
+    # --------------------------------------------------------- batched queries
+    def _tiled_payload(self, num_queries: int) -> tuple:
+        """The cached payload tiled to ``num_queries`` segments.
+
+        Returns ``(ids, flat_objects, boundaries)`` where segment ``qi`` of
+        ``flat_objects`` (rows ``boundaries[qi]:boundaries[qi + 1]``) is the
+        whole cache in insertion order — the shape
+        ``Metric.pairwise_segmented`` consumes.  Vector caches snapshot one
+        stacked matrix (rebuilt lazily after mutations) so the tile is a
+        single NumPy repeat; everything else tiles the object list.
+        """
+        if self._payload is None:
+            ids = np.fromiter(self._objects, count=len(self._objects), dtype=np.int64)
+            values = list(self._objects.values())
+            matrix = None
+            if values and all(
+                isinstance(o, np.ndarray) and o.ndim == 1 for o in values
+            ) and len({(o.shape, o.dtype.str) for o in values}) == 1:
+                matrix = np.stack(values)
+            self._payload = (ids, values, matrix)
+        ids, values, matrix = self._payload
+        count = len(ids)
+        boundaries = np.arange(num_queries + 1, dtype=np.int64) * count
+        if matrix is not None:
+            flat = np.tile(matrix, (num_queries, 1))
+        else:
+            flat = values * num_queries
+        return ids, flat, boundaries
+
+    def _scan_batch_distances(
+        self, metric: Metric, queries: Sequence, device: Optional[Device]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Distances of every (query, cached object) pair via one fused kernel."""
+        ids, flat, boundaries = self._tiled_payload(len(queries))
+        start = time.perf_counter()
+        dists = metric.pairwise_segmented(queries, flat, boundaries)
+        host = time.perf_counter() - start
+        dev = device or self._device
+        if dev is not None:
+            dev.launch_kernel(
+                work_items=len(flat),
+                op_cost=metric.unit_cost,
+                label="cache-scan",
+                host_time=host,
+            )
+        return ids, dists
+
+    def range_scan_batch(
+        self,
+        metric: Metric,
+        queries: Sequence,
+        radii,
+        device: Optional[Device] = None,
+    ) -> list[list[tuple[int, float]]]:
+        """Range-scan the cache for a whole query batch with one kernel.
+
+        Per-query answers are identical to calling :meth:`range_scan` once
+        per query (same distances, same insertion-order enumeration); only
+        the kernel granularity changes — one ``cache-scan`` launch covering
+        ``len(queries) * len(cache)`` pairs instead of one per query.
+        """
+        if not self._objects or len(queries) == 0:
+            return [[] for _ in range(len(queries))]
+        radii = np.asarray(radii, dtype=np.float64)
+        ids, dists = self._scan_batch_distances(metric, queries, device)
+        count = len(ids)
+        out = []
+        for qi in range(len(queries)):
+            segment = dists[qi * count : (qi + 1) * count]
+            hits = np.flatnonzero(segment <= radii[qi])
+            out.append([(int(ids[i]), float(segment[i])) for i in hits])
+        return out
+
+    def knn_scan_batch(
+        self,
+        metric: Metric,
+        queries: Sequence,
+        ks,
+        device: Optional[Device] = None,
+    ) -> list[list[tuple[int, float]]]:
+        """kNN-scan the cache for a whole query batch with one kernel.
+
+        Per-query answers are identical to calling :meth:`knn_scan` once per
+        query; the top-k of each segment is extracted with the same
+        partition-then-sort-survivors strategy.
+        """
+        if not self._objects or len(queries) == 0:
+            return [[] for _ in range(len(queries))]
+        ks = np.asarray(ks, dtype=np.int64)
+        ids, dists = self._scan_batch_distances(metric, queries, device)
+        count = len(ids)
+        out = []
+        for qi in range(len(queries)):
+            segment = dists[qi * count : (qi + 1) * count]
+            top = topk_by_distance(ids, segment, int(ks[qi]))
+            out.append([(int(ids[i]), float(segment[i])) for i in top])
+        return out
 
     def items(self) -> list[tuple[int, object]]:
         """Return ``(object_id, object)`` pairs currently buffered."""

@@ -44,6 +44,7 @@ from .pivots import PivotSelector, get_pivot_selector
 
 __all__ = [
     "build_tree",
+    "build_level",
     "BuildResult",
     "take_objects",
     "objects_nbytes",
@@ -272,6 +273,31 @@ def _partition_level(
     device.launch_kernel(work_items=created, op_cost=4.0, label="gts-make-children")
 
 
+def build_level(
+    tree: TreeStructure,
+    layer: int,
+    objects: Sequence,
+    metric: Metric,
+    device: Device,
+    selector: PivotSelector,
+    rng: np.random.Generator,
+) -> int:
+    """Run one level of the level-synchronous construction (Algorithms 2-3).
+
+    The unit of work both :func:`build_tree` and the incremental maintenance
+    subsystem (:mod:`repro.core.maintenance`) advance by: pivot selection,
+    the mapping kernel and the partitioning kernels of ``layer``'s active
+    nodes.  Returns the number of distance computations the level performed.
+    """
+    start = level_start(layer, tree.node_capacity)
+    ids = np.arange(start, start + level_size(layer, tree.node_capacity), dtype=np.int64)
+    active = ids[tree.size[ids] > 0]
+    _select_pivots(tree, active, layer == 0, selector, rng)
+    distances = _map_level(tree, active, objects, metric, device)
+    _partition_level(tree, active, device)
+    return distances
+
+
 def build_tree(
     objects: Sequence,
     object_ids: np.ndarray,
@@ -339,12 +365,7 @@ def build_tree(
         allocations.append(device.allocate(tree.storage_bytes(), "gts-index", pool="tree"))
 
     for layer in range(tree.height):
-        start = level_start(layer, node_capacity)
-        ids = np.arange(start, start + level_size(layer, node_capacity), dtype=np.int64)
-        active = ids[tree.size[ids] > 0]
-        _select_pivots(tree, active, layer == 0, selector, rng)
-        _map_level(tree, active, objects, metric, device)
-        _partition_level(tree, active, device)
+        build_level(tree, layer, objects, metric, device, selector, rng)
 
     result = BuildResult(
         tree=tree,

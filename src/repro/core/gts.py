@@ -169,7 +169,9 @@ class GTS:
         self._build_result: Optional[BuildResult] = None
         self._allocations: list = []
         self._cache = CacheTable(cache_capacity_bytes, device=self.device)
-        self._rebuild_count = 0
+        self._automatic_rebuild_count = 0
+        self._forced_rebuild_count = 0
+        self._maintenance = None
 
     # ------------------------------------------------------------ lifecycle
     @classmethod
@@ -213,6 +215,8 @@ class GTS:
         """
         if len(objects) == 0:
             raise IndexError_("cannot bulk load an empty object collection")
+        if self._maintenance is not None:
+            self._maintenance.abort()
         self._release_index()
         if self._pager is not None:
             self._pager.release()
@@ -263,6 +267,15 @@ class GTS:
             # and only the tree storage is allocated (pinned) below.
             allocate_storage=self.tier_config is None,
         )
+        return self._finalize_build(result)
+
+    def _finalize_build(self, result: BuildResult) -> BuildResult:
+        """Install a finished construction as the live tree.
+
+        Shared by :meth:`_build` and the maintenance generation swap: tiered
+        indexes allocate the tree storage here (construction faulted object
+        blocks instead of staging the store) and re-pin the pivot blocks.
+        """
         if self.tier_config is not None:
             result.allocations.append(
                 self.device.allocate(result.tree.storage_bytes(), "gts-index", pool="tree")
@@ -284,6 +297,8 @@ class GTS:
 
     def close(self) -> None:
         """Free every device allocation held by the index."""
+        if self._maintenance is not None:
+            self._maintenance.abort()
         self._release_index()
         if self._pager is not None:
             self._pager.release()
@@ -330,8 +345,27 @@ class GTS:
 
     @property
     def rebuild_count(self) -> int:
-        """How many automatic rebuilds streaming updates have triggered."""
-        return self._rebuild_count
+        """Total rebuilds of any kind: ``automatic + forced``.
+
+        Kept as the sum for backwards compatibility; use
+        :attr:`automatic_rebuild_count` for overflow-triggered rebuilds and
+        :attr:`forced_rebuild_count` for explicit :meth:`rebuild` /
+        :meth:`batch_update` reconstructions.
+        """
+        return self._automatic_rebuild_count + self._forced_rebuild_count
+
+    @property
+    def automatic_rebuild_count(self) -> int:
+        """Rebuilds streaming-update cache overflows triggered (Section 4.4),
+        including non-blocking generation swaps completed by the maintenance
+        subsystem."""
+        return self._automatic_rebuild_count
+
+    @property
+    def forced_rebuild_count(self) -> int:
+        """Explicitly requested reconstructions (:meth:`rebuild`, non-empty
+        :meth:`batch_update`)."""
+        return self._forced_rebuild_count
 
     @property
     def tiered(self) -> bool:
@@ -440,11 +474,13 @@ class GTS:
         )
         if len(self._cache) == 0:
             return tree_results
+        # One fused cache-scan kernel covers the whole batch (DESIGN.md §9);
+        # answers are identical to scanning the cache once per query.
+        extras = self._cache.range_scan_batch(self.metric, queries, radii_arr, self.device)
         merged = []
-        for qi, query in enumerate(queries):
-            extra = self._cache.range_scan(self.metric, query, float(radii_arr[qi]), self.device)
+        for qi in range(len(queries)):
             combined = {oid: dist for oid, dist in tree_results[qi]}
-            combined.update({oid: dist for oid, dist in extra})
+            combined.update({oid: dist for oid, dist in extras[qi]})
             merged.append(sorted(combined.items(), key=lambda item: (item[1], item[0])))
         return merged
 
@@ -496,11 +532,13 @@ class GTS:
         )
         if len(self._cache) == 0:
             return tree_results
+        # One fused cache-scan kernel covers the whole batch (DESIGN.md §9);
+        # answers are identical to scanning the cache once per query.
+        extras = self._cache.knn_scan_batch(self.metric, queries, k_arr, self.device)
         merged = []
-        for qi, query in enumerate(queries):
-            extra = self._cache.knn_scan(self.metric, query, int(k_arr[qi]), self.device)
+        for qi in range(len(queries)):
             combined = {oid: dist for oid, dist in tree_results[qi]}
-            for oid, dist in extra:
+            for oid, dist in extras[qi]:
                 if oid not in combined or dist < combined[oid]:
                     combined[oid] = dist
             ranked = sorted(combined.items(), key=lambda item: (item[1], item[0]))
@@ -551,9 +589,22 @@ class GTS:
         (``cache_capacity_bytes``, default ~5 KB per Section 6.2) the whole
         index is automatically rebuilt with the parallel construction
         algorithm (Algorithms 1-3), folding cached objects into the tree and
-        clearing the cache — observable via :attr:`rebuild_count`.
+        clearing the cache — observable via :attr:`automatic_rebuild_count`.
+        With incremental maintenance enabled
+        (:meth:`enable_incremental_maintenance`) the overflow only schedules
+        a non-blocking generation-swap rebuild instead (DESIGN.md §9): the
+        insert returns immediately and the reconstruction proceeds in
+        bounded slices driven by :meth:`run_maintenance_slice`.
+
+        An object too large to ever fit the cache budget is rejected with
+        :class:`~repro.exceptions.UpdateError` before any state changes or
+        simulated time is charged (it could otherwise never be folded out,
+        forcing a futile rebuild on every subsequent insert).
         """
         self._require_built()
+        # Validate before charging or touching the store: a rejected insert
+        # must be stats-neutral and must not consume an object id.
+        self._cache.ensure_fits(obj)
         obj_id = len(self._objects)
         self._objects.append(obj)
         # O(1) append: ship the object to the device-resident cache table
@@ -563,7 +614,11 @@ class GTS:
         self.device.launch_kernel(work_items=1, op_cost=1.0, label="cache-append")
         self._cache.insert(obj_id, obj)
         if self._cache.is_full:
-            self.rebuild()
+            if self._maintenance is not None:
+                self._maintenance.notify_overflow()
+            else:
+                self._automatic_rebuild_count += 1
+                self._fold_and_rebuild()
         return obj_id
 
     def delete(self, obj_id: int) -> None:
@@ -598,8 +653,12 @@ class GTS:
 
         Following the paper's modification semantics (Section 4.4), the new
         version gets a *fresh* object id (returned); ``obj_id`` becomes a
-        tombstone.
+        tombstone.  Validated atomically: a replacement too large for the
+        cache budget is rejected up front, before the old version is
+        touched.
         """
+        self._require_built()
+        self._cache.ensure_fits(new_obj)
         self.delete(obj_id)
         return self.insert(new_obj)
 
@@ -607,18 +666,36 @@ class GTS:
         """Rebuild the tree from all live objects (Algorithms 1-3).
 
         Folds the cache table's objects into the tree, physically drops
-        tombstoned objects, and clears both — the operation
+        tombstoned objects, and clears both — the same reconstruction
         :meth:`insert` triggers automatically on cache overflow
-        (Section 4.4).  Object ids survive rebuilds unchanged.
+        (Section 4.4), requested explicitly here (counted under
+        :attr:`forced_rebuild_count`).  Object ids survive rebuilds
+        unchanged.  Any in-flight maintenance generation is discarded: the
+        forced rebuild folds everything the generation would have.
         """
         self._require_built()
-        live_indexed = [int(i) for i in self._indexed_ids if int(i) not in self._tombstones]
-        cached = [oid for oid, _ in self._cache.items()]
-        self._indexed_ids = np.asarray(live_indexed + cached, dtype=np.int64)
+        if self._maintenance is not None:
+            self._maintenance.abort()
+        self._forced_rebuild_count += 1
+        return self._fold_and_rebuild()
+
+    def _fold_ids(self) -> tuple[np.ndarray, list[int]]:
+        """The rebuild fold set: live indexed ids then cached ids, in order.
+
+        The single source of truth for what a rebuild indexes — shared by
+        the stop-the-world path and the maintenance generation snapshot, so
+        both produce identical trees over identical state.
+        """
+        live = [int(i) for i in self._indexed_ids if int(i) not in self._tombstones]
+        cached = [int(oid) for oid, _ in self._cache.items()]
+        return np.asarray(live + cached, dtype=np.int64), cached
+
+    def _fold_and_rebuild(self) -> BuildResult:
+        """Fold (live indexed ∪ cached) into a fresh tree, stop-the-world."""
+        self._indexed_ids, _ = self._fold_ids()
         self._tombstones = set()
         self._cache.clear()
         self._release_index()
-        self._rebuild_count += 1
         return self._build()
 
     def batch_update(self, inserts: Sequence = (), deletes: Sequence[int] = ()) -> BuildResult:
@@ -626,10 +703,17 @@ class GTS:
 
         Deletions and insertions are applied to the object store, then the
         whole index is reconstructed — the paper's strategy for large update
-        volumes, which its Fig. 5 shows to be the GPU-friendly choice.
+        volumes, which its Fig. 5 shows to be the GPU-friendly choice.  The
+        reconstruction counts under :attr:`forced_rebuild_count`; a call
+        with both sequences empty is a free no-op (no rebuild, no simulated
+        time, counters untouched) returning the standing build result.
         """
         self._require_built()
+        inserts = list(inserts)
         delete_set = {int(d) for d in deletes}
+        if not inserts and not delete_set:
+            # zero-cost result over the standing tree: no construction ran
+            return BuildResult(tree=self._tree)
         already_deleted = delete_set & self._tombstones
         if already_deleted:
             raise UpdateError(
@@ -639,6 +723,8 @@ class GTS:
         unknown = delete_set - (self._indexed_id_set - self._tombstones) - cached_ids
         if unknown:
             raise UpdateError(f"cannot delete unknown object ids: {sorted(unknown)}")
+        if self._maintenance is not None:
+            self._maintenance.abort()
         for obj_id in delete_set:
             self._cache.remove(obj_id)
         live = [int(i) for i in self._indexed_ids if int(i) not in delete_set and int(i) not in self._tombstones]
@@ -652,8 +738,55 @@ class GTS:
         self._tombstones = set()
         self._cache.clear()
         self._release_index()
-        self._rebuild_count += 1
+        self._forced_rebuild_count += 1
         return self._build()
+
+    # ---------------------------------------------------------- maintenance
+    def enable_incremental_maintenance(self, config=None):
+        """Switch cache-overflow rebuilds to non-blocking generation swaps.
+
+        After this call a cache overflow inside :meth:`insert` only marks
+        the index *maintenance-due*; the replacement tree is then built in
+        bounded slices by :meth:`run_maintenance_slice` (which the serving
+        layer schedules between micro-batches) and swapped in atomically,
+        with queries answered from the old tree + cache table throughout —
+        answers stay byte-identical to the stop-the-world path (DESIGN.md
+        §9).  Returns the :class:`~repro.core.maintenance.IncrementalMaintenance`
+        controller; calling again replaces the configuration (aborting any
+        in-flight generation).
+        """
+        from .maintenance import IncrementalMaintenance
+
+        if self._maintenance is not None:
+            self._maintenance.abort()
+        self._maintenance = IncrementalMaintenance(self, config)
+        return self._maintenance
+
+    @property
+    def maintenance(self):
+        """The incremental-maintenance controller, or None (blocking mode)."""
+        return self._maintenance
+
+    @property
+    def maintenance_enabled(self) -> bool:
+        """True when cache overflows schedule non-blocking rebuilds."""
+        return self._maintenance is not None
+
+    @property
+    def maintenance_due(self) -> bool:
+        """True when a maintenance slice would make progress."""
+        return self._maintenance is not None and self._maintenance.due
+
+    def run_maintenance_slice(self):
+        """Advance a due generation rebuild by one bounded slice.
+
+        Returns the slice's :class:`~repro.core.maintenance.SliceReport`
+        (``swapped=True`` on the slice that installs the new generation), or
+        None when no maintenance is due or enabled.
+        """
+        if self._maintenance is None:
+            return None
+        return self._maintenance.run_slice()
 
     # ------------------------------------------------------------ persistence
     def save(self, path) -> "Path":

@@ -102,6 +102,8 @@ def save_index(index, path) -> Path:
         "height": tree.height,
         "num_objects": tree.num_objects,
         "rebuild_count": index.rebuild_count,
+        "automatic_rebuild_count": index.automatic_rebuild_count,
+        "forced_rebuild_count": index.forced_rebuild_count,
         "objects_kind": _objects_kind(host_objects),
         "tier": index.tier_config.as_dict() if index.tier_config is not None else None,
     }
@@ -218,7 +220,15 @@ def load_index(path, metric: Optional[Metric] = None, device: Optional[Device] =
         index._init_tier()
     index._indexed_ids = indexed_ids
     index._tombstones = tombstones
-    index._rebuild_count = int(meta.get("rebuild_count", 0))
+    # Older archives carry only the summed count; treat it as automatic (the
+    # historical docstring's semantics) so the sum round-trips either way.
+    index._forced_rebuild_count = int(meta.get("forced_rebuild_count", 0))
+    index._automatic_rebuild_count = int(
+        meta.get(
+            "automatic_rebuild_count",
+            int(meta.get("rebuild_count", 0)) - index._forced_rebuild_count,
+        )
+    )
 
     # register the index storage on the device, as a fresh build would
     allocation = index.device.allocate(tree.storage_bytes(), "gts-index-loaded", pool="tree")

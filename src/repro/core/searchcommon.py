@@ -49,6 +49,7 @@ __all__ = [
     "filter_live_triples",
     "dedupe_min_triples",
     "triples_to_answer_lists",
+    "topk_by_distance",
     "level_pair_limit",
     "split_into_groups",
     "pivot_distances_per_query",
@@ -159,6 +160,27 @@ def triples_to_answer_lists(
             end = min(end, start + int(k[qi]))
         out.append(list(zip(id_list[start:end], dist_list[start:end])))
     return out
+
+
+def topk_by_distance(ids: np.ndarray, dists: np.ndarray, k: int) -> np.ndarray:
+    """Positions of the ``k`` smallest ``(distance, id)`` pairs, in that order.
+
+    ``np.argpartition`` isolates the candidates at or below the k-th
+    distance (plus any ties straddling the cut), then only that candidate
+    set is sorted — exactly the top-k a full ``sorted()`` of all pairs would
+    yield, without the full sort.  The cache-table kNN scans use this.
+    """
+    n = len(ids)
+    k = int(k)
+    if k <= 0 or n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if k < n:
+        kth = np.partition(dists, k - 1)[k - 1]
+        candidates = np.flatnonzero(dists <= kth)
+    else:
+        candidates = np.arange(n, dtype=np.int64)
+    order = np.lexsort((ids[candidates], dists[candidates]))
+    return candidates[order][:k]
 
 
 def dedupe_min_triples(

@@ -370,6 +370,7 @@ class Device:
         self.stats.host_time += stats.host_time
         for key, value in stats.transfer_seconds.items():
             self.stats.transfer_seconds[key] = self.stats.transfer_seconds.get(key, 0.0) + value
+        self.stats.maintenance_seconds += stats.maintenance_seconds
         self.stats.sim_time += elapsed
         return elapsed
 

@@ -52,6 +52,9 @@ class ExecutionStats:
     #: simulated transfer seconds attributed to named flows (e.g. "pager-h2d",
     #: "pager-d2h", "results-d2h"); a subset of ``sim_time``
     transfer_seconds: Dict[str, float] = field(default_factory=dict)
+    #: simulated seconds spent inside incremental-maintenance slices
+    #: (generation-swap rebuild work, DESIGN.md §9); a subset of ``sim_time``
+    maintenance_seconds: float = 0.0
 
     def merge(self, other: "ExecutionStats") -> "ExecutionStats":
         """Return a new stats object that is the element-wise sum of both."""
@@ -69,6 +72,7 @@ class ExecutionStats:
             host_time=self.host_time + other.host_time,
             pool_peak_bytes=_merge_max(self.pool_peak_bytes, other.pool_peak_bytes),
             transfer_seconds=_merge_sum(self.transfer_seconds, other.transfer_seconds),
+            maintenance_seconds=self.maintenance_seconds + other.maintenance_seconds,
         )
 
     def delta_since(self, earlier: "ExecutionStats") -> "ExecutionStats":
@@ -90,6 +94,7 @@ class ExecutionStats:
                 key: value - earlier.transfer_seconds.get(key, 0.0)
                 for key, value in self.transfer_seconds.items()
             },
+            maintenance_seconds=self.maintenance_seconds - earlier.maintenance_seconds,
         )
 
     def copy(self) -> "ExecutionStats":
@@ -123,6 +128,7 @@ class ExecutionStats:
             host_time=self.host_time * factor,
             pool_peak_bytes=dict(self.pool_peak_bytes),
             transfer_seconds={k: v * factor for k, v in self.transfer_seconds.items()},
+            maintenance_seconds=self.maintenance_seconds * factor,
         )
 
     def as_dict(self) -> dict:
@@ -141,6 +147,7 @@ class ExecutionStats:
             "host_time": self.host_time,
             "pool_peak_bytes": dict(self.pool_peak_bytes),
             "transfer_seconds": dict(self.transfer_seconds),
+            "maintenance_seconds": self.maintenance_seconds,
         }
 
     def reset(self) -> None:
@@ -158,3 +165,4 @@ class ExecutionStats:
         self.host_time = 0.0
         self.pool_peak_bytes = {}
         self.transfer_seconds = {}
+        self.maintenance_seconds = 0.0

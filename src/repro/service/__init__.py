@@ -30,7 +30,12 @@ from .scheduler import (
     SchedulingPolicy,
     make_policy,
 )
-from .service import GTSService, MicroBatchRecord
+from .service import (
+    GTSService,
+    MaintenanceHook,
+    MaintenanceSliceRecord,
+    MicroBatchRecord,
+)
 from .workload import Workload, WorkloadSpec, generate_workload
 
 #: Symbols that live in modules depending on :mod:`repro.evalsuite` (the
@@ -42,6 +47,7 @@ _LAZY = {
     "ServiceReport": "report",
     "summarize": "report",
     "experiment_service_batching": "experiment",
+    "experiment_update_heavy_serving": "experiment",
     "sequential_replay": "experiment",
 }
 
@@ -60,6 +66,8 @@ def __getattr__(name: str):
 __all__ = [
     "GTSService",
     "MicroBatchRecord",
+    "MaintenanceHook",
+    "MaintenanceSliceRecord",
     "Request",
     "Response",
     "RANGE",
@@ -79,5 +87,6 @@ __all__ = [
     "ServiceReport",
     "summarize",
     "experiment_service_batching",
+    "experiment_update_heavy_serving",
     "sequential_replay",
 ]

@@ -1,4 +1,4 @@
-"""The serving-layer batching experiment (micro-batch size vs latency).
+"""Serving-layer experiments: micro-batching sweep and update-heavy serving.
 
 :func:`experiment_service_batching` is the client-side companion of the
 paper's Fig. 9: where Fig. 9 hands the index ever-larger *pre-formed*
@@ -9,6 +9,15 @@ trade-off of micro-batching.  ``max_batch_size=1`` is the no-batching
 baseline (per-request dispatch); larger budgets amortise kernel launches and
 tree descents across requests, raising throughput at the cost of queueing
 latency for the earliest request in each batch.
+
+:func:`experiment_update_heavy_serving` stresses the *update* path instead
+(DESIGN.md §9): an insert-heavy stream repeatedly overflows a small cache
+table, and the experiment compares the paper's stop-the-world rebuild (every
+overflow reconstructs the index inside the overflowing micro-batch) against
+the incremental maintenance subsystem (generation-swap rebuilds advanced in
+bounded slices between micro-batches).  The non-blocking row must show that
+no query batch stalls behind a full reconstruction — the longest device
+occupancy is bounded by one maintenance slice — at byte-identical answers.
 
 Every configuration serves the *same* generated stream over a freshly built
 index and device, and every configuration's answers are checked against a
@@ -25,15 +34,25 @@ from ..evalsuite.reporting import ExperimentResult
 from ..evalsuite.workloads import radius_for_selectivity
 from ..gpusim.device import Device
 from ..gpusim.specs import DeviceSpec
-from .requests import Request
+from .requests import DELETE, INSERT, KNN, RANGE, Request
 from .scheduler import DeadlineAwarePolicy, GreedyBatchPolicy
-from .service import GTSService
+from .service import GTSService, MaintenanceHook
 from .workload import WorkloadSpec, generate_workload
 
-__all__ = ["experiment_service_batching", "sequential_replay"]
+__all__ = [
+    "experiment_service_batching",
+    "experiment_update_heavy_serving",
+    "sequential_replay",
+    "UPDATE_HEAVY_MIX",
+]
 
 #: Fraction of the generated dataset held out as the insert pool.
 HOLDOUT_FRACTION = 0.1
+
+#: Request mix of the update-heavy serving scenario: half the stream is
+#: inserts, so the cache table overflows continuously while queries keep
+#: arriving — the workload shape that exposes stop-the-world rebuild stalls.
+UPDATE_HEAVY_MIX = {RANGE: 0.2, KNN: 0.2, INSERT: 0.5, DELETE: 0.1}
 
 
 def sequential_replay(index, requests: Sequence[Request]) -> list:
@@ -153,5 +172,138 @@ def experiment_service_batching(
         f"offered load {num_clients} clients x {rate_per_client:.0f} req/s for "
         f"{duration * 1e3:.2f} ms simulated; radius at 1% selectivity; "
         "max_batch=1 is the per-request-dispatch baseline"
+    )
+    return result
+
+
+def experiment_update_heavy_serving(
+    dataset_name: str = "tloc",
+    num_clients: int = 6,
+    rate_per_client: float = 250_000.0,
+    duration: float = 2.5e-3,
+    cache_capacity_bytes: int = 512,
+    node_capacity: int = 8,
+    max_batch: int = 64,
+    max_wait: float = 200e-6,
+    scale: float = 1.0,
+    cardinality: Optional[int] = None,
+    seed: int = 11,
+) -> ExperimentResult:
+    """Serve one update-heavy stream with blocking vs generation-swap rebuilds.
+
+    Both rows serve the *identical* request stream (half inserts, a thin
+    delete stream, the rest queries) over identically built indexes; the
+    small ``cache_capacity_bytes`` makes the cache overflow every few dozen
+    inserts.  The ``blocking`` row reproduces the paper's behaviour — each
+    overflow rebuilds the index inside the overflowing micro-batch — while
+    the ``generation-swap`` row enables incremental maintenance
+    (DESIGN.md §9) and lets the service interleave bounded rebuild slices
+    between micro-batches.
+
+    Row columns of interest:
+
+    ``max_batch_s``
+        Longest device occupancy of any micro-batch — under blocking
+        rebuilds this contains a full reconstruction.
+    ``max_stall_s``
+        Longest uninterruptible device occupancy of any kind (micro-batch
+        or maintenance slice) — the worst case any queued request can wait
+        behind.
+    ``full_rebuild_s``
+        Simulated seconds of one complete construction at the indexed size,
+        for comparison against ``max_slice_s``.
+    ``correct``
+        Answers byte-identical to a sequential replay of the stream on a
+        bare blocking index (and hence identical between the two rows).
+    """
+    from .report import summarize
+
+    if cardinality is None:
+        cardinality = max(400, int(DEFAULT_CARDINALITIES[dataset_name] * scale))
+    dataset = get_dataset(dataset_name, cardinality=cardinality, seed=seed)
+    # a deeper holdout than the query-heavy sweep: half the stream inserts
+    num_indexed = max(2, int(len(dataset.objects) * 0.75))
+    radius = radius_for_selectivity(dataset.objects[:num_indexed], dataset.metric, 0.01)
+
+    spec = WorkloadSpec(
+        num_clients=num_clients,
+        rate_per_client=rate_per_client,
+        duration=duration,
+        mix=dict(UPDATE_HEAVY_MIX),
+        radius=radius,
+        seed=seed,
+    )
+    workload = generate_workload(dataset.objects, num_indexed, spec)
+
+    def build_index():
+        from ..core.gts import GTS
+
+        return GTS.build(
+            dataset.objects[:num_indexed],
+            dataset.metric,
+            node_capacity=node_capacity,
+            device=Device(DeviceSpec()),
+            cache_capacity_bytes=cache_capacity_bytes,
+            seed=seed,
+        )
+
+    oracle = build_index()
+    full_rebuild_s = oracle.build_result.sim_time
+    expected = sequential_replay(oracle, workload.requests)
+    oracle.close()
+
+    result = ExperimentResult(
+        experiment="update-heavy-serving",
+        title=f"update-heavy serving on {dataset.name} "
+        f"({len(workload.requests)} requests, {num_indexed} indexed, "
+        f"{cache_capacity_bytes} B cache)",
+    )
+    # Slice after (nearly) every micro-batch: the deferral threshold sits
+    # above the steady queue depth and the hard overflow valve is off, so
+    # *every* rebuild must complete inside service-scheduled slices — which
+    # is exactly what the `rebuilds == rebuilds_in_slices` column certifies.
+    from ..core.maintenance import MaintenanceConfig
+
+    hook = MaintenanceHook(
+        defer_queue_threshold=4 * max_batch,
+        max_deferrals=2,
+        config=MaintenanceConfig(levels_per_slice=1, hard_overflow_factor=None),
+    )
+    for mode in ("blocking", "generation-swap"):
+        index = build_index()
+        service = GTSService(
+            index,
+            policy=GreedyBatchPolicy(max_batch_size=max_batch, max_wait=max_wait),
+            maintenance=hook if mode == "generation-swap" else None,
+        )
+        responses = service.serve(workload.requests)
+        report = summarize(responses, service.batches, service.maintenance_records)
+        correct = [r.result for r in responses] == expected
+        max_batch_s = max((b.service_time for b in service.batches), default=0.0)
+        result.add_row(
+            policy=mode,
+            requests=report.num_requests,
+            throughput=report.throughput,
+            p50_latency=report.latency.p50,
+            p99_latency=report.latency.p99,
+            max_batch_s=max_batch_s,
+            max_stall_s=max(max_batch_s, report.max_slice_time),
+            rebuilds=index.automatic_rebuild_count,
+            rebuilds_in_slices=report.rebuilds_completed,
+            slices=report.num_maintenance_slices,
+            max_slice_s=report.max_slice_time,
+            maintenance_s=report.maintenance_time,
+            full_rebuild_s=full_rebuild_s,
+            correct=correct,
+            status="ok" if correct else "mismatch",
+        )
+        index.close()
+
+    result.notes = (
+        f"identical stream, {num_clients} clients x {rate_per_client:.0f} req/s "
+        f"for {duration * 1e3:.2f} ms simulated; mix "
+        + ", ".join(f"{k}={v:.0%}" for k, v in sorted(UPDATE_HEAVY_MIX.items()))
+        + "; blocking rebuilds run inside the overflowing micro-batch, "
+        "generation-swap slices run between micro-batches (DESIGN.md §9)"
     )
     return result

@@ -79,6 +79,15 @@ class ServiceReport:
     mean_batch_size: float = 0.0
     #: fraction of deadline-carrying requests that completed late
     deadline_miss_rate: Optional[float] = None
+    #: incremental-maintenance slices run while serving (DESIGN.md §9)
+    num_maintenance_slices: int = 0
+    #: simulated seconds spent inside maintenance slices
+    maintenance_time: float = 0.0
+    #: longest single maintenance slice — the bound on how long any query
+    #: batch can stall behind rebuild work under the non-blocking path
+    max_slice_time: float = 0.0
+    #: generation swaps (rebuilds) completed while serving
+    rebuilds_completed: int = 0
 
     def to_result(self, title: str = "service run") -> ExperimentResult:
         """Render as an ExperimentResult (one row overall + one per kind)."""
@@ -106,6 +115,13 @@ class ServiceReport:
         )
         if self.deadline_miss_rate is not None:
             notes += f"; deadline miss rate {self.deadline_miss_rate:.1%}"
+        if self.num_maintenance_slices:
+            notes += (
+                f"; maintenance: {self.num_maintenance_slices} slices / "
+                f"{self.rebuilds_completed} rebuilds in "
+                f"{format_seconds(self.maintenance_time)} "
+                f"(max slice {format_seconds(self.max_slice_time)})"
+            )
         result.notes = notes
         return result
 
@@ -114,16 +130,29 @@ class ServiceReport:
         return self.to_result(title).to_text()
 
 
-def summarize(responses: Sequence[Response], batches: Sequence = ()) -> ServiceReport:
+def summarize(
+    responses: Sequence[Response],
+    batches: Sequence = (),
+    maintenance: Sequence = (),
+) -> ServiceReport:
     """Build a :class:`ServiceReport` from one :meth:`GTSService.serve` run.
 
-    ``batches`` is the service's ``MicroBatchRecord`` list; pass
-    ``service.batches`` (or the slice belonging to this run).  An empty
-    response list yields an all-zero report.
+    ``batches`` is the service's ``MicroBatchRecord`` list and
+    ``maintenance`` its ``MaintenanceSliceRecord`` list; pass
+    ``service.batches`` / ``service.maintenance_records`` (or the slices
+    belonging to this run).  An empty response list yields an all-zero
+    report.
     """
     responses = list(responses)
     batches = list(batches)
+    maintenance = list(maintenance)
     busy = float(sum(b.service_time for b in batches))
+    maintenance_fields = dict(
+        num_maintenance_slices=len(maintenance),
+        maintenance_time=float(sum(m.sim_time for m in maintenance)),
+        max_slice_time=max((m.sim_time for m in maintenance), default=0.0),
+        rebuilds_completed=sum(1 for m in maintenance if m.swapped),
+    )
     if not responses:
         return ServiceReport(
             num_requests=0,
@@ -133,6 +162,7 @@ def summarize(responses: Sequence[Response], batches: Sequence = ()) -> ServiceR
             capacity=0.0,
             latency=LatencySummary.from_values([]),
             num_batches=len(batches),
+            **maintenance_fields,
         )
 
     first_arrival = min(r.request.arrival_time for r in responses)
@@ -165,4 +195,5 @@ def summarize(responses: Sequence[Response], batches: Sequence = ()) -> ServiceR
         num_batches=len(batches),
         mean_batch_size=float(np.mean([b.size for b in batches])) if batches else 0.0,
         deadline_miss_rate=miss_rate,
+        **maintenance_fields,
     )

@@ -22,6 +22,16 @@ The device is busy while a batch runs, so requests arriving mid-batch simply
 queue until the loop looks again — exactly the head-of-line behaviour a real
 single-GPU serving process exhibits.
 
+Maintenance.  With a :class:`MaintenanceHook`, the service also drives the
+index's incremental maintenance subsystem (DESIGN.md §9): after each
+micro-batch — and whenever the device would otherwise sit idle — it runs one
+bounded generation-rebuild slice, so a cache overflow never stalls a query
+batch behind a full stop-the-world reconstruction.  The hook is
+deadline-aware in the simple, load-shedding sense: while the request queue is
+deep, slices are deferred (up to ``max_deferrals`` consecutive times) so
+queries keep priority; idle time is always spent on maintenance first — the
+serving-layer realisation of the paper's "peak-valley" strategy.
+
 Correctness.  Policies dispatch arrival-ordered prefixes of the queue and
 :meth:`GTS.execute_batch` treats updates as barriers, so the answers are
 identical to replaying the same request stream sequentially against the bare
@@ -40,7 +50,59 @@ from ..gpusim.timing import PhaseTimer
 from .requests import Request, Response
 from .scheduler import GreedyBatchPolicy, SchedulingPolicy
 
-__all__ = ["GTSService", "MicroBatchRecord"]
+__all__ = [
+    "GTSService",
+    "MicroBatchRecord",
+    "MaintenanceHook",
+    "MaintenanceSliceRecord",
+]
+
+
+@dataclass(frozen=True)
+class MaintenanceHook:
+    """Service-side schedule of incremental-maintenance slices.
+
+    Parameters
+    ----------
+    defer_queue_threshold:
+        Pending-request count at or above which a due slice is deferred in
+        favour of serving queries first.
+    max_deferrals:
+        Consecutive deferrals after which a slice runs regardless of load,
+        bounding how long maintenance can be starved.
+    config:
+        Optional :class:`~repro.core.maintenance.MaintenanceConfig` applied
+        when the service auto-enables maintenance on an index that does not
+        have it switched on yet.
+    """
+
+    defer_queue_threshold: int = 8
+    max_deferrals: int = 4
+    config: object = None
+
+    def __post_init__(self) -> None:
+        if self.defer_queue_threshold < 1:
+            raise QueryError(
+                f"defer_queue_threshold must be >= 1, got {self.defer_queue_threshold}"
+            )
+        if self.max_deferrals < 0:
+            raise QueryError(f"max_deferrals must be >= 0, got {self.max_deferrals}")
+
+
+@dataclass
+class MaintenanceSliceRecord:
+    """Bookkeeping of one maintenance slice the service ran."""
+
+    #: simulated time at which the slice started
+    at: float
+    #: simulated seconds the slice held the device
+    sim_time: float
+    #: construction levels the slice advanced
+    levels: int
+    #: True when this slice completed the rebuild and swapped generations
+    swapped: bool
+    #: True when the slice ran in an idle gap (no pending requests)
+    idle: bool
 
 
 @dataclass
@@ -76,19 +138,34 @@ class GTSService:
         The micro-batching policy; defaults to a
         :class:`~repro.service.scheduler.GreedyBatchPolicy` with its stock
         batch size / max wait.
+    maintenance:
+        Optional :class:`MaintenanceHook`.  When given, the service enables
+        incremental maintenance on the index (unless already enabled) and
+        schedules generation-rebuild slices between micro-batches and in
+        idle gaps; slices run are recorded in :attr:`maintenance_records`.
 
     Use :meth:`serve` for a whole pre-generated workload (the benchmark and
     CLI path) or :meth:`submit` + :meth:`flush` for ad-hoc request lists.
     """
 
-    def __init__(self, index: GTS, policy: Optional[SchedulingPolicy] = None):
+    def __init__(
+        self,
+        index: GTS,
+        policy: Optional[SchedulingPolicy] = None,
+        maintenance: Optional[MaintenanceHook] = None,
+    ):
         index._require_built()
         self.index = index
         self.policy = policy or GreedyBatchPolicy()
+        self.maintenance_hook = maintenance
         self.batches: list[MicroBatchRecord] = []
+        self.maintenance_records: list[MaintenanceSliceRecord] = []
+        self._deferrals = 0
         self._batch_counter = 0
         self._submitted: list[Request] = []
         self._next_request_id = 0
+        if maintenance is not None and not getattr(index, "maintenance_enabled", False):
+            index.enable_incremental_maintenance(maintenance.config)
 
     # ------------------------------------------------------------- submission
     def submit(
@@ -165,12 +242,23 @@ class GTSService:
                 responses.extend(batch_responses)
                 self.policy.observe(record.size, record.service_time)
                 now = record.completed_at
+                # maintenance rides between micro-batches: at most one
+                # bounded slice before the next batch can form
+                now = self._run_maintenance_slice(now, len(pending))
                 continue
 
-            # No batch cut: sleep until the policy's wake-up or the next
-            # arrival.  A policy that neither dispatches nor names a finite
-            # wake-up while the stream is drained would hang the loop, so
-            # force-flush in that case.
+            # No batch cut: the device is idle until the policy's wake-up or
+            # the next arrival — idle time is maintenance time first (the
+            # "valley" of the paper's peak-valley strategy).
+            advanced = self._run_maintenance_slice(now, len(pending))
+            if advanced != now:
+                now = advanced
+                continue
+
+            # Sleep until the policy's wake-up or the next arrival.  A policy
+            # that neither dispatches nor names a finite wake-up while the
+            # stream is drained would hang the loop, so force-flush in that
+            # case.
             candidates = [t for t in (decision.wake_at, next_arrival) if t is not None]
             wake = min(candidates) if candidates else float("inf")
             if wake == float("inf"):
@@ -183,7 +271,52 @@ class GTSService:
                 continue
             now = max(now, wake)
 
+        # the stream is fully served; drain any rebuild still in flight so
+        # the index is fresh before the next serve() call
+        while True:
+            advanced = self._run_maintenance_slice(now, 0)
+            if advanced == now:
+                break
+            now = advanced
+
         return responses
+
+    # ------------------------------------------------------------ maintenance
+    def _run_maintenance_slice(self, now: float, pending_count: int) -> float:
+        """Run at most one due maintenance slice at ``now``; returns the clock.
+
+        Deadline-aware deferral: under load (``pending_count`` at or above
+        the hook's threshold) a due slice is skipped up to ``max_deferrals``
+        consecutive times so queries keep priority; idle slices always run.
+        """
+        hook = self.maintenance_hook
+        if hook is None or not getattr(self.index, "maintenance_due", False):
+            self._deferrals = 0
+            return now
+        idle = pending_count == 0
+        if (
+            not idle
+            and pending_count >= hook.defer_queue_threshold
+            and self._deferrals < hook.max_deferrals
+        ):
+            self._deferrals += 1
+            return now
+        self._deferrals = 0
+        before = self.index.device.stats.sim_time
+        report = self.index.run_maintenance_slice()
+        elapsed = self.index.device.stats.sim_time - before
+        if report is None:
+            return now
+        self.maintenance_records.append(
+            MaintenanceSliceRecord(
+                at=now,
+                sim_time=elapsed,
+                levels=report.levels,
+                swapped=report.swapped,
+                idle=idle,
+            )
+        )
+        return now + elapsed
 
     # --------------------------------------------------------------- dispatch
     def _dispatch(self, batch: Sequence[Request], now: float):

@@ -392,6 +392,9 @@ class ShardedGTS:
         self._require_built()
         gid = self._next_id
         sid = self.policy.assign(gid, obj, self._loads)
+        # validate before charging: a rejected insert (object larger than the
+        # shard's whole cache budget) must stay stats-neutral
+        self.shards[sid]._cache.ensure_fits(obj)
         # routing the object to its shard is one host-side table lookup
         self._charge_host(1.0, "shard-route")
         lid = self._single_shard(sid, lambda shard: shard.insert(obj))
@@ -422,7 +425,14 @@ class ShardedGTS:
         self._deleted.add(gid)
 
     def update(self, obj_id: int, new_obj) -> int:
-        """Modify an object: delete the old version, insert the new one."""
+        """Modify an object: delete the old version, insert the new one.
+
+        Validated atomically: every shard shares one cache budget, so a
+        replacement too large for it is rejected before the old version is
+        touched.
+        """
+        self._require_built()
+        self.shards[0]._cache.ensure_fits(new_obj)
         self.delete(obj_id)
         return self.insert(new_obj)
 
@@ -434,10 +444,15 @@ class ShardedGTS:
         inserts are assigned global ids and shards exactly as streaming
         inserts would be.  Each affected shard runs :meth:`GTS.batch_update`
         (its full reconstruction), untouched shards do nothing, and the
-        reported ``sim_time`` is the makespan of the round.
+        reported ``sim_time`` is the makespan of the round.  A call with both
+        sequences empty is a free no-op: no round, no host charge, no rebuild
+        counters.
         """
         self._require_built()
+        inserts = list(inserts)
         delete_set = {int(d) for d in deletes}
+        if not inserts and not delete_set:
+            return ShardedBuildReport(per_shard=[], sim_time=0.0)
         already_deleted = delete_set & self._deleted
         if already_deleted:
             raise UpdateError(
@@ -495,6 +510,55 @@ class ShardedGTS:
             sim_time=max(r.sim_time for r in results),
         )
 
+    # ---------------------------------------------------------- maintenance
+    def enable_incremental_maintenance(self, config=None) -> None:
+        """Enable non-blocking generation-swap rebuilds on every shard.
+
+        Shard-local cache overflows then only mark the owning shard
+        maintenance-due; :meth:`run_maintenance_slice` advances the rebuilds
+        under a **staggered schedule** — at most one shard is in maintenance
+        at a time, so a scatter-gather query batch never waits behind more
+        than one shard's slice and the tail latency of the round stays
+        bounded (DESIGN.md §9).
+        """
+        for shard in self.shards:
+            shard.enable_incremental_maintenance(config)
+
+    @property
+    def maintenance_enabled(self) -> bool:
+        """True when the shards run non-blocking generation-swap rebuilds."""
+        return any(shard.maintenance_enabled for shard in self.shards)
+
+    @property
+    def maintenance_due(self) -> bool:
+        """True when a maintenance slice would advance some shard."""
+        return any(shard.maintenance_due for shard in self.shards)
+
+    def run_maintenance_slice(self):
+        """Advance maintenance on **at most one** shard (staggered schedule).
+
+        A shard with an in-flight generation always goes first — it runs to
+        completion over successive calls before any other due shard may
+        start its own rebuild, which is what keeps at most one shard in
+        maintenance at any time.  The slice's delta is charged to the
+        coordinating timeline like any single-shard operation.  Returns the
+        shard's :class:`~repro.core.maintenance.SliceReport` or None.
+        """
+        self._require_built()
+        target = None
+        for sid, shard in enumerate(self.shards):
+            if shard.maintenance is not None and shard.maintenance.in_flight:
+                target = sid
+                break
+        if target is None:
+            for sid, shard in enumerate(self.shards):
+                if shard.maintenance_due:
+                    target = sid
+                    break
+        if target is None:
+            return None
+        return self._single_shard(target, lambda shard: shard.run_maintenance_slice())
+
     # ------------------------------------------------------------ properties
     def get_object(self, obj_id: int):
         """Return the object registered under the *global* ``obj_id``."""
@@ -530,8 +594,19 @@ class ShardedGTS:
 
     @property
     def rebuild_count(self) -> int:
-        """Total automatic/forced rebuilds across all shards."""
+        """Total rebuilds across all shards: ``automatic + forced``."""
         return sum(shard.rebuild_count for shard in self.shards)
+
+    @property
+    def automatic_rebuild_count(self) -> int:
+        """Cache-overflow (streaming-update) rebuilds across all shards."""
+        return sum(shard.automatic_rebuild_count for shard in self.shards)
+
+    @property
+    def forced_rebuild_count(self) -> int:
+        """Explicit :meth:`rebuild` / :meth:`batch_update` reconstructions
+        across all shards."""
+        return sum(shard.forced_rebuild_count for shard in self.shards)
 
     @property
     def shard_sizes(self) -> list[int]:

@@ -288,8 +288,19 @@ class BlockPager:
 
     # ------------------------------------------------------------------ pins
     def set_pins(self, block_ids: Iterable[int]) -> None:
-        """Replace the pinned-block set (called after every (re)build)."""
+        """Replace the pinned-block set (called after every (re)build/swap)."""
         self._pins = {int(b) for b in block_ids}
+
+    def add_pins(self, block_ids: Iterable[int]) -> None:
+        """Widen the pinned-block set without dropping the existing pins.
+
+        Used by the incremental maintenance subsystem while a generation
+        rebuild is in flight: descents still walk the old tree (its pivot
+        blocks must stay protected) while construction keeps re-touching the
+        replacement tree's freshly chosen pivots.  The swap narrows the set
+        back via :meth:`set_pins`.
+        """
+        self._pins |= {int(b) for b in block_ids}
 
     # ---------------------------------------------------------------- faults
     def access(self, block_id: int) -> bool:

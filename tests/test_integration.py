@@ -104,8 +104,10 @@ class TestMixedWorkload:
     def test_rebuild_preserves_memory_bounds(self, datasets_small):
         dataset = datasets_small["color"]
         device = Device(DeviceSpec(memory_bytes=64 * MiB))
+        # one 282-d float64 object is ~2.2 KB; the cache must be able to hold
+        # at least one (a smaller budget now rejects the insert outright)
         gts = GTS.build(list(np.asarray(dataset.objects)), dataset.metric, device=device,
-                        cache_capacity_bytes=1024)
+                        cache_capacity_bytes=4096)
         for i in range(40):
             gts.insert(np.asarray(dataset.objects)[i % 50] * 1.01)
         assert device.used_bytes <= device.capacity_bytes

@@ -1,0 +1,496 @@
+"""Tests for the non-blocking update path (DESIGN.md §9).
+
+Covers the incremental maintenance subsystem (generation-swap rebuilds in
+bounded slices), the batched cache-table scans, the update-path bugfixes
+(oversized inserts, no-op batch updates, the automatic/forced rebuild-count
+split), the serving-layer maintenance hook, and the staggered shard
+schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GTS, EditDistance, EuclideanDistance
+from repro.core import MaintenanceConfig
+from repro.core.cache_table import CacheTable
+from repro.exceptions import UpdateError
+from repro.gpusim import Device, DeviceSpec
+from repro.service import (
+    GTSService,
+    MaintenanceHook,
+    WorkloadSpec,
+    generate_workload,
+    summarize,
+)
+from repro.service.experiment import UPDATE_HEAVY_MIX, sequential_replay
+from repro.shard import ShardedGTS
+from repro.tier import TierConfig
+
+
+# --------------------------------------------------------------------------
+# Batched cache scans
+# --------------------------------------------------------------------------
+class TestBatchedCacheScans:
+    @pytest.fixture
+    def cache(self, rng, device):
+        cache = CacheTable(1 << 20, device=device)
+        for i in range(37):
+            cache.insert(100 + i, rng.normal(size=4))
+        return cache
+
+    def test_range_scan_batch_matches_per_query(self, cache, rng, device):
+        metric = EuclideanDistance()
+        queries = [rng.normal(size=4) for _ in range(9)]
+        radii = np.linspace(0.5, 3.0, num=9)
+        expected = [
+            cache.range_scan(metric, q, float(r), device)
+            for q, r in zip(queries, radii)
+        ]
+        assert cache.range_scan_batch(metric, queries, radii, device) == expected
+
+    def test_knn_scan_batch_matches_per_query(self, cache, rng, device):
+        metric = EuclideanDistance()
+        queries = [rng.normal(size=4) for _ in range(7)]
+        ks = np.array([1, 2, 3, 5, 8, 37, 100])
+        expected = [
+            cache.knn_scan(metric, q, int(k), device) for q, k in zip(queries, ks)
+        ]
+        assert cache.knn_scan_batch(metric, queries, ks, device) == expected
+
+    def test_batch_scan_launches_one_kernel_and_same_pairs(self, cache, rng, device):
+        metric = EuclideanDistance()
+        queries = [rng.normal(size=4) for _ in range(11)]
+        before_kernels = device.stats.kernel_launches
+        before_pairs = metric.pair_count
+        cache.range_scan_batch(metric, queries, np.full(11, 1.0), device)
+        assert device.stats.kernel_launches == before_kernels + 1
+        assert metric.pair_count == before_pairs + 11 * len(cache)
+
+    def test_string_payload_batch_scan(self, device):
+        cache = CacheTable(1 << 20, device=device)
+        words = ["metric", "metrics", "space", "spade", "tree"]
+        for i, w in enumerate(words):
+            cache.insert(50 + i, w)
+        metric = EditDistance()
+        queries = ["metric", "spice"]
+        expected = [cache.knn_scan(metric, q, 3, device) for q in queries]
+        assert cache.knn_scan_batch(metric, queries, [3, 3], device) == expected
+
+    def test_knn_scan_topk_with_ties(self, device):
+        cache = CacheTable(1 << 20, device=device)
+        # equidistant objects: the top-k must break ties by ascending id
+        for i in range(8):
+            cache.insert(i, np.array([1.0, 0.0]))
+        got = cache.knn_scan(EuclideanDistance(), np.zeros(2), 3, device)
+        assert got == [(0, 1.0), (1, 1.0), (2, 1.0)]
+
+    def test_gts_query_batch_merges_cache_identically(self, points_2d, l2_metric):
+        index = GTS.build(points_2d, l2_metric, node_capacity=8)
+        for i in range(6):
+            index.insert(points_2d[i] + 0.01)
+        queries = [points_2d[i] for i in range(10)]
+        batch = index.knn_query_batch(queries, 5)
+        singles = [index.knn_query(q, 5) for q in queries]
+        assert batch == singles
+        batch_r = index.range_query_batch(queries, 0.5)
+        singles_r = [index.range_query(q, 0.5) for q in queries]
+        assert batch_r == singles_r
+        index.close()
+
+    def test_query_batch_adds_one_cache_scan_kernel(self, points_2d, l2_metric):
+        index = GTS.build(points_2d, l2_metric, node_capacity=8)
+        queries = [points_2d[i] for i in range(8)]
+        before = index.device.stats.kernel_launches
+        index.knn_query_batch(queries, 3)
+        without_cache = index.device.stats.kernel_launches - before
+        for i in range(4):
+            index.insert(points_2d[i] + 1000.0)  # far away: answers unaffected
+        before = index.device.stats.kernel_launches
+        index.knn_query_batch(queries, 3)
+        with_cache = index.device.stats.kernel_launches - before
+        # the whole batch's cache merge is exactly one extra cache-scan
+        # kernel, not one per query
+        assert with_cache == without_cache + 1
+        index.close()
+
+
+# --------------------------------------------------------------------------
+# Update-path bugfixes
+# --------------------------------------------------------------------------
+class TestOversizedInsert:
+    def test_cache_table_rejects_oversized_object(self, device):
+        cache = CacheTable(64, device=device)
+        with pytest.raises(UpdateError, match="exceeds the whole cache"):
+            cache.insert(0, np.zeros(100))
+        assert len(cache) == 0 and cache.used_bytes == 0
+
+    def test_gts_insert_rejects_oversized_and_stays_stats_neutral(self, points_2d, l2_metric):
+        index = GTS.build(points_2d, l2_metric, cache_capacity_bytes=64)
+        before = index.device.stats.copy()
+        n_before = index.num_objects
+        with pytest.raises(UpdateError):
+            index.insert(np.zeros(100))
+        assert index.device.stats.sim_time == before.sim_time
+        assert index.device.stats.kernel_launches == before.kernel_launches
+        assert index.num_objects == n_before
+        # the id was not consumed and valid inserts still work
+        new_id = index.insert(np.array([1.0, 2.0]))
+        assert new_id == len(points_2d)
+        index.close()
+
+    def test_sharded_insert_rejects_oversized_and_stays_stats_neutral(self, points_2d, l2_metric):
+        index = ShardedGTS.build(points_2d, l2_metric, num_shards=2, cache_capacity_bytes=64)
+        before = index.device.stats.copy()
+        with pytest.raises(UpdateError):
+            index.insert(np.zeros(100))
+        assert index.device.stats.sim_time == before.sim_time
+        index.close()
+
+    def test_update_with_oversized_replacement_is_atomic(self, points_2d, l2_metric):
+        index = GTS.build(points_2d, l2_metric, cache_capacity_bytes=64)
+        before = index.device.stats.copy()
+        with pytest.raises(UpdateError):
+            index.update(3, np.zeros(100))
+        # the old version must survive a rejected replacement, stats-neutrally
+        assert index.is_live(3)
+        assert index.device.stats.sim_time == before.sim_time
+        index.close()
+
+    def test_sharded_update_with_oversized_replacement_is_atomic(self, points_2d, l2_metric):
+        index = ShardedGTS.build(points_2d, l2_metric, num_shards=2, cache_capacity_bytes=64)
+        with pytest.raises(UpdateError):
+            index.update(3, np.zeros(100))
+        assert index.is_live(3)
+        index.close()
+
+
+class TestNoopBatchUpdate:
+    def test_gts_noop_batch_update_is_free(self, points_2d, l2_metric):
+        index = GTS.build(points_2d, l2_metric, node_capacity=8)
+        before = index.device.stats.copy()
+        result = index.batch_update(inserts=(), deletes=())
+        # a zero-cost result over the standing tree: no construction ran
+        assert result.tree is index.tree
+        assert result.sim_time == 0.0 and result.distance_computations == 0
+        assert index.rebuild_count == 0
+        assert index.forced_rebuild_count == 0
+        assert index.device.stats.sim_time == before.sim_time
+        assert index.device.stats.kernel_launches == before.kernel_launches
+        index.close()
+
+    def test_sharded_noop_batch_update_is_free(self, points_2d, l2_metric):
+        index = ShardedGTS.build(points_2d, l2_metric, num_shards=2)
+        before = index.device.stats.copy()
+        report = index.batch_update(inserts=(), deletes=())
+        assert report.per_shard == [] and report.sim_time == 0.0
+        assert index.rebuild_count == 0
+        assert index.device.stats.sim_time == before.sim_time
+        index.close()
+
+    def test_non_noop_batch_update_still_rebuilds(self, points_2d, l2_metric):
+        index = GTS.build(points_2d, l2_metric, node_capacity=8)
+        index.batch_update(deletes=[0, 1])
+        assert index.forced_rebuild_count == 1
+        index.close()
+
+
+class TestRebuildCounterSplit:
+    def test_forced_vs_automatic(self, points_2d, l2_metric):
+        index = GTS.build(points_2d, l2_metric, cache_capacity_bytes=64)
+        index.rebuild()
+        assert (index.forced_rebuild_count, index.automatic_rebuild_count) == (1, 0)
+        index.batch_update(inserts=[np.array([9.0, 9.0])])
+        assert index.forced_rebuild_count == 2
+        while index.automatic_rebuild_count == 0:
+            index.insert(np.array([1.0, 1.0]))
+        assert index.rebuild_count == index.forced_rebuild_count + index.automatic_rebuild_count
+        assert index.automatic_rebuild_count >= 1
+        index.close()
+
+    def test_sharded_aggregates_split_counters(self, points_2d, l2_metric):
+        index = ShardedGTS.build(points_2d, l2_metric, num_shards=2, cache_capacity_bytes=64)
+        index.shards[0].rebuild()
+        while index.automatic_rebuild_count == 0:
+            index.insert(np.array([2.0, 2.0]))
+        assert index.forced_rebuild_count == 1
+        assert index.rebuild_count == 1 + index.automatic_rebuild_count
+        index.close()
+
+    def test_persistence_round_trips_split_counters(self, points_2d, l2_metric, tmp_path):
+        index = GTS.build(points_2d, l2_metric, cache_capacity_bytes=64)
+        index.rebuild()
+        while index.automatic_rebuild_count == 0:
+            index.insert(np.array([3.0, 3.0]))
+        path = index.save(tmp_path / "counters.npz")
+        loaded = GTS.load(path)
+        assert loaded.automatic_rebuild_count == index.automatic_rebuild_count
+        assert loaded.forced_rebuild_count == index.forced_rebuild_count
+        assert loaded.rebuild_count == index.rebuild_count
+        index.close()
+        loaded.close()
+
+
+# --------------------------------------------------------------------------
+# Generation-swap rebuilds
+# --------------------------------------------------------------------------
+def _mixed_stream(points, rng, length):
+    """A deterministic mixed insert/delete/range/knn op stream, batched."""
+    ops = []
+    next_id = len(points)
+    deletable = []
+    for _ in range(length):
+        kind = rng.choice(["insert", "delete", "range", "knn"], p=[0.45, 0.1, 0.2, 0.25])
+        if kind == "insert":
+            ops.append(("insert", rng.normal(scale=10.0, size=2)))
+            deletable.append(next_id)
+            next_id += 1
+        elif kind == "delete" and deletable:
+            ops.append(("delete", deletable.pop(int(rng.integers(len(deletable))))))
+        elif kind == "range":
+            ops.append(("range", points[int(rng.integers(len(points)))], 1.0))
+        else:
+            ops.append(("knn", points[int(rng.integers(len(points)))], 4))
+    # split into micro-batches of 7 ops
+    return [ops[i : i + 7] for i in range(0, len(ops), 7)]
+
+
+def _normalize(results):
+    out = []
+    for r in results:
+        if isinstance(r, list):
+            out.append([(int(o), float(d)) for o, d in r])
+        else:
+            out.append(r)
+    return out
+
+
+class TestGenerationSwapEquivalence:
+    """Generation-swap answers are byte-identical to stop-the-world rebuilds
+    across resident, tiered (cap 0.25) and 2-shard configurations."""
+
+    CONFIGS = ("resident", "tiered", "sharded")
+
+    def _build_pair(self, config, points):
+        kwargs = dict(node_capacity=8, cache_capacity_bytes=128, seed=5)
+        if config == "resident":
+            make = lambda: GTS.build(points, EuclideanDistance(), **kwargs)
+        elif config == "tiered":
+            from repro.core.construction import objects_nbytes
+
+            budget = max(2048, objects_nbytes(points) // 4)
+            tier = TierConfig(memory_budget_bytes=budget, block_bytes=512)
+            make = lambda: GTS.build(points, EuclideanDistance(), tier=tier, **kwargs)
+        else:
+            make = lambda: ShardedGTS.build(
+                points, EuclideanDistance(), num_shards=2, **kwargs
+            )
+        return make(), make()
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_streamed_batches_identical_to_blocking(self, config, points_2d):
+        points = points_2d[:300]
+        blocking, nonblocking = self._build_pair(config, points)
+        nonblocking.enable_incremental_maintenance(
+            MaintenanceConfig(levels_per_slice=1, hard_overflow_factor=None)
+        )
+        batches = _mixed_stream(points, np.random.default_rng(42), 140)
+        swapped_any = False
+        for batch in batches:
+            expected = _normalize(blocking.execute_batch(batch))
+            got = _normalize(nonblocking.execute_batch(batch))
+            assert got == expected
+            # advance maintenance between micro-batches, like the service
+            report = nonblocking.run_maintenance_slice()
+            if report is not None and report.swapped:
+                swapped_any = True
+        # the stream must actually have exercised the non-blocking rebuild
+        assert blocking.automatic_rebuild_count >= 1
+        assert swapped_any or nonblocking.maintenance_due
+        # drain and re-compare a final query batch
+        while nonblocking.maintenance_due:
+            if nonblocking.run_maintenance_slice() is None:
+                break
+        queries = [points[i] for i in range(12)]
+        assert _normalize(
+            [r for r in nonblocking.knn_query_batch(queries, 6)]
+        ) == _normalize([r for r in blocking.knn_query_batch(queries, 6)])
+        assert nonblocking.automatic_rebuild_count >= 1
+        blocking.close()
+        nonblocking.close()
+
+    def test_deletes_during_rebuild_carry_over(self, points_2d, l2_metric):
+        points = points_2d[:200]
+        index = GTS.build(points, l2_metric, node_capacity=8, cache_capacity_bytes=128)
+        index.enable_incremental_maintenance(
+            MaintenanceConfig(hard_overflow_factor=None)
+        )
+        cached_ids = []
+        while not index.maintenance_due:
+            cached_ids.append(index.insert(points[0] + 0.01))
+        # start the rebuild and advance one level, then delete mid-flight:
+        # one indexed object and one snapshot-cached object
+        index.run_maintenance_slice()
+        assert index.maintenance.in_flight
+        index.delete(7)
+        index.delete(cached_ids[0])
+        while index.maintenance_due:
+            index.run_maintenance_slice()
+        assert index.automatic_rebuild_count == 1
+        assert not index.is_live(7) and not index.is_live(cached_ids[0])
+        hits = {o for o, _ in index.range_query(points[7], 1e-9)}
+        assert 7 not in hits
+        # the other snapshot inserts were folded into the tree
+        assert index.is_live(cached_ids[1])
+        assert index.cache_size == 0
+        index.close()
+
+    def test_forced_rebuild_aborts_generation_without_leaks(self, points_2d, l2_metric):
+        device = Device(DeviceSpec())
+        index = GTS.build(
+            points_2d, l2_metric, device=device, cache_capacity_bytes=128
+        )
+        index.enable_incremental_maintenance(
+            MaintenanceConfig(hard_overflow_factor=None)
+        )
+        while not index.maintenance_due:
+            index.insert(np.array([5.0, 5.0]))
+        index.run_maintenance_slice()
+        assert index.maintenance.in_flight
+        index.rebuild()
+        assert not index.maintenance.in_flight and not index.maintenance_due
+        assert index.forced_rebuild_count == 1
+        index.close()
+        assert device.used_bytes == 0
+
+    def test_close_with_inflight_generation_frees_everything(self, points_2d, l2_metric):
+        device = Device(DeviceSpec())
+        index = GTS.build(points_2d, l2_metric, device=device, cache_capacity_bytes=128)
+        index.enable_incremental_maintenance(
+            MaintenanceConfig(hard_overflow_factor=None)
+        )
+        while not index.maintenance_due:
+            index.insert(np.array([5.0, 5.0]))
+        index.run_maintenance_slice()
+        index.close()
+        assert device.used_bytes == 0
+
+    def test_hard_overflow_valve_finishes_synchronously(self, points_2d, l2_metric):
+        index = GTS.build(points_2d, l2_metric, cache_capacity_bytes=128)
+        index.enable_incremental_maintenance(
+            MaintenanceConfig(hard_overflow_factor=2.0)
+        )
+        # never run a slice: once the cache exceeds 2x its budget the next
+        # insert must complete the rebuild on its own
+        while index.automatic_rebuild_count == 0:
+            index.insert(np.array([6.0, 6.0]))
+        assert index.cache_size * 16 <= 2 * 128 + 16
+        index.close()
+
+    def test_maintenance_slices_attributed_in_stats(self, points_2d, l2_metric):
+        index = GTS.build(points_2d, l2_metric, cache_capacity_bytes=128)
+        index.enable_incremental_maintenance(
+            MaintenanceConfig(hard_overflow_factor=None)
+        )
+        while not index.maintenance_due:
+            index.insert(np.array([7.0, 7.0]))
+        assert index.device.stats.maintenance_seconds == 0.0
+        while index.maintenance_due:
+            index.run_maintenance_slice()
+        assert index.device.stats.maintenance_seconds > 0.0
+        assert index.device.stats.maintenance_seconds <= index.device.stats.sim_time
+        index.close()
+
+
+class TestShardedStaggering:
+    def test_at_most_one_shard_in_maintenance(self, points_2d, l2_metric):
+        index = ShardedGTS.build(
+            points_2d, l2_metric, num_shards=3, cache_capacity_bytes=96, seed=2
+        )
+        index.enable_incremental_maintenance(
+            MaintenanceConfig(hard_overflow_factor=None)
+        )
+        # make every shard maintenance-due
+        rng = np.random.default_rng(8)
+        while not all(s.maintenance_due for s in index.shards):
+            index.insert(rng.normal(scale=10.0, size=2))
+        swaps = 0
+        while index.maintenance_due:
+            report = index.run_maintenance_slice()
+            assert report is not None
+            in_flight = sum(
+                1 for s in index.shards if s.maintenance is not None and s.maintenance.in_flight
+            )
+            assert in_flight <= 1
+            swaps += int(report.swapped)
+        assert swaps >= 3
+        index.close()
+
+
+# --------------------------------------------------------------------------
+# Serving-layer hook
+# --------------------------------------------------------------------------
+class TestServiceMaintenanceHook:
+    def _workload(self, points, num_indexed, seed=13):
+        spec = WorkloadSpec(
+            num_clients=4,
+            rate_per_client=150_000.0,
+            duration=2e-3,
+            mix=dict(UPDATE_HEAVY_MIX),
+            radius=0.8,
+            seed=seed,
+        )
+        return generate_workload(points, num_indexed, spec)
+
+    def test_served_answers_match_sequential_replay(self, points_2d, l2_metric):
+        num_indexed = 500
+        workload = self._workload(points_2d, num_indexed)
+        oracle = GTS.build(points_2d[:num_indexed], l2_metric, cache_capacity_bytes=256, seed=3)
+        expected = sequential_replay(oracle, workload.requests)
+        oracle.close()
+
+        index = GTS.build(points_2d[:num_indexed], l2_metric, cache_capacity_bytes=256, seed=3)
+        service = GTSService(index, maintenance=MaintenanceHook())
+        responses = service.serve(workload.requests)
+        assert [r.result for r in responses] == expected
+        assert service.maintenance_records, "no maintenance slice ever ran"
+        report = summarize(responses, service.batches, service.maintenance_records)
+        assert report.num_maintenance_slices == len(service.maintenance_records)
+        assert report.maintenance_time > 0
+        assert report.rebuilds_completed == index.automatic_rebuild_count >= 1
+        assert "maintenance" in report.to_text()
+        index.close()
+
+    def test_hook_auto_enables_maintenance(self, points_2d, l2_metric):
+        index = GTS.build(points_2d[:300], l2_metric)
+        assert not index.maintenance_enabled
+        GTSService(index, maintenance=MaintenanceHook())
+        assert index.maintenance_enabled
+        index.close()
+
+    def test_deferral_under_load(self, points_2d, l2_metric):
+        # a hook that may never run a slice while requests are pending only
+        # fires in idle gaps / the end-of-stream drain
+        num_indexed = 400
+        workload = self._workload(points_2d, num_indexed, seed=21)
+        index = GTS.build(points_2d[:num_indexed], l2_metric, cache_capacity_bytes=256, seed=3)
+        hook = MaintenanceHook(defer_queue_threshold=1, max_deferrals=10_000)
+        service = GTSService(index, maintenance=hook)
+        service.serve(workload.requests)
+        assert all(record.idle for record in service.maintenance_records)
+        index.close()
+
+    def test_sharded_service_with_maintenance(self, points_2d, l2_metric):
+        num_indexed = 500
+        workload = self._workload(points_2d, num_indexed, seed=5)
+        oracle = GTS.build(points_2d[:num_indexed], l2_metric, cache_capacity_bytes=256, seed=3)
+        expected = sequential_replay(oracle, workload.requests)
+        oracle.close()
+        index = ShardedGTS.build(
+            points_2d[:num_indexed], l2_metric, num_shards=2, cache_capacity_bytes=256, seed=3
+        )
+        service = GTSService(index, maintenance=MaintenanceHook())
+        responses = service.serve(workload.requests)
+        assert [r.result for r in responses] == expected
+        index.close()
